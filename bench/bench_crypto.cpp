@@ -1,0 +1,101 @@
+// A13 — crypto substrate primitives: the raw costs everything OPT/EPIC/
+// F_pass/F_cc pay per invocation.
+#include <benchmark/benchmark.h>
+
+#include "dip/crypto/aes.hpp"
+#include "dip/crypto/drkey.hpp"
+#include "dip/crypto/even_mansour.hpp"
+#include "dip/crypto/random.hpp"
+#include "dip/crypto/siphash.hpp"
+
+namespace dip::bench {
+namespace {
+
+using namespace dip::crypto;
+
+void BM_Aes128Block(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Aes128 aes(rng.block());
+  Block block = rng.block();
+  for (auto _ : state) {
+    aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Block);
+
+void BM_Aes128Decrypt(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  const Aes128 aes(rng.block());
+  Block block = rng.block();
+  for (auto _ : state) {
+    aes.decrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Decrypt);
+
+void BM_Em2Block(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  const EvenMansour2 em(rng.block());
+  Block block = rng.block();
+  for (auto _ : state) {
+    em.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Em2Block);
+
+void BM_Aes128KeySchedule(benchmark::State& state) {
+  Xoshiro256 rng(4);
+  Block key = rng.block();
+  for (auto _ : state) {
+    key[0] = static_cast<std::uint8_t>(key[0] + 1);  // defeat caching
+    Aes128 aes(key);
+    benchmark::DoNotOptimize(aes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Aes128KeySchedule);
+
+void BM_DrKeyDerive(benchmark::State& state) {
+  // The F_parm hot path: per-packet dynamic-key derivation.
+  Xoshiro256 rng(5);
+  const DrKey drkey(rng.block());
+  SessionId session = rng.block();
+  for (auto _ : state) {
+    session[0] = static_cast<std::uint8_t>(session[0] + 1);
+    benchmark::DoNotOptimize(drkey.derive(session));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DrKeyDerive);
+
+void BM_SipHash(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(siphash24(process_sip_key(), data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SipHash)->Arg(8)->Arg(32)->Arg(256);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

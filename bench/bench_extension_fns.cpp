@@ -1,0 +1,97 @@
+// A9 — extension FN costs: F_cc (NetFence congestion tag) and F_dps (CSFQ
+// dynamic packet state), per packet, against the plain-forwarding baseline.
+//
+// These are the §5-flavored "new services by upgrading FNs": the bench
+// quantifies what each service costs the data plane when composed onto a
+// DIP-32 forwarding program.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "dip/netfence/netfence.hpp"
+#include "dip/qos/dps.hpp"
+
+namespace dip::bench {
+namespace {
+
+crypto::Block cc_key() { return crypto::Xoshiro256(0xCC).block(); }
+
+std::shared_ptr<core::OpRegistry> extension_registry() {
+  // Per-node: CcOp/DpsOp are stateful. The bench uses a single router.
+  auto registry = netsim::make_default_registry();
+  netfence::CongestionMonitor::Config monitor;
+  monitor.capacity_bytes_per_sec = 1'000'000'000;  // never congested: pure cost
+  registry->add(std::make_unique<netfence::CcOp>(cc_key(), monitor));
+  qos::FairShareEstimator::Config fair;
+  fair.capacity_bytes_per_sec = 1'000'000'000;
+  registry->add(std::make_unique<qos::DpsOp>(fair));
+  return registry;
+}
+
+std::vector<std::uint8_t> base_packet(bool with_cc, bool with_dps) {
+  core::HeaderBuilder b;
+  b.add_router_fn(core::OpKey::kMatch32, fib::parse_ipv4("10.1.1.9").value().bytes);
+  b.add_router_fn(core::OpKey::kSource, fib::parse_ipv4("172.16.0.1").value().bytes);
+  if (with_cc) netfence::add_cc_fn(b, cc_key());
+  if (with_dps) qos::add_dps_fn(b, /*flow=*/1, /*label=*/1000);
+  auto wire = b.build()->serialize();
+  wire.resize(256, 0xA5);
+  return wire;
+}
+
+void run(benchmark::State& state, bool with_cc, bool with_dps) {
+  auto registry = extension_registry();
+  core::Router router(bench_env(), registry.get());
+  const auto base = base_packet(with_cc, with_dps);
+  std::vector<std::uint8_t> packet = base;
+  SimTime now = 0;
+  for (auto _ : state) {
+    std::memcpy(packet.data(), base.data(), packet.size());
+    benchmark::DoNotOptimize(router.process(packet, 0, now));
+    now += 1000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ForwardOnly(benchmark::State& state) { run(state, false, false); }
+void BM_WithCc(benchmark::State& state) { run(state, true, false); }
+void BM_WithDps(benchmark::State& state) { run(state, false, true); }
+void BM_WithBoth(benchmark::State& state) { run(state, true, true); }
+
+BENCHMARK(BM_ForwardOnly);
+BENCHMARK(BM_WithCc);
+BENCHMARK(BM_WithDps);
+BENCHMARK(BM_WithBoth);
+
+// Raw primitive legs.
+
+void BM_EdgeLabeling(benchmark::State& state) {
+  qos::EdgeLabeler edge;
+  SimTime now = 0;
+  std::uint32_t flow = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge.label(flow++ & 0xFF, 1000, now));
+    now += 1000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EdgeLabeling);
+
+void BM_CcTagVerify(benchmark::State& state) {
+  std::array<std::uint8_t, netfence::kTagBytes> field{};
+  netfence::CcTag tag;
+  tag.write(field);
+  tag.mac = netfence::CcTag::compute_mac(field, cc_key(), crypto::MacKind::kEm2);
+  tag.write(field);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netfence::verify_cc_tag(field, cc_key()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CcTagVerify);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

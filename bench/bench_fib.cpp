@@ -1,0 +1,159 @@
+// A3 — LPM engine ablation: binary trie vs Patricia vs DIR-24-8 across
+// table sizes (the cost inside F_32_match and F_FIB).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "dip/fib/lpm.hpp"
+
+namespace dip::bench {
+namespace {
+
+using fib::Ipv4Addr;
+using fib::LpmEngine;
+using fib::Prefix;
+
+/// Deterministic route table: clustered prefixes of mixed lengths, the way
+/// real FIBs look (many /16..,/24s, few /8s, some host routes).
+std::vector<Prefix<32>> make_routes(std::size_t count, std::uint64_t seed) {
+  crypto::Xoshiro256 rng(seed);
+  std::vector<Prefix<32>> routes;
+  routes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    static constexpr std::uint8_t kLengths[] = {8, 16, 16, 20, 24, 24, 24, 32};
+    Prefix<32> p{fib::ipv4_from_u32(rng.u32()), kLengths[rng.below(8)]};
+    p.normalize();
+    routes.push_back(p);
+  }
+  return routes;
+}
+
+std::unique_ptr<fib::Ipv4Lpm> loaded_table(LpmEngine engine, std::size_t routes) {
+  auto table = fib::make_lpm<32>(engine);
+  std::uint32_t nh = 0;
+  for (const auto& p : make_routes(routes, 42)) {
+    table->insert(p, nh++ % 256);
+  }
+  return table;
+}
+
+void run_lookup(benchmark::State& state, LpmEngine engine) {
+  const auto routes = static_cast<std::size_t>(state.range(0));
+  const auto table = loaded_table(engine, routes);
+
+  // Probe addresses: half drawn from installed prefixes (hits), half random.
+  crypto::Xoshiro256 rng(7);
+  const auto installed = make_routes(routes, 42);
+  std::vector<Ipv4Addr> probes;
+  for (int i = 0; i < 4096; ++i) {
+    if (i % 2 == 0) {
+      Ipv4Addr a = installed[rng.below(installed.size())].addr;
+      a.bytes[3] = static_cast<std::uint8_t>(rng.next());
+      probes.push_back(a);
+    } else {
+      probes.push_back(fib::ipv4_from_u32(rng.u32()));
+    }
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->lookup(probes[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LookupBinaryTrie(benchmark::State& state) {
+  run_lookup(state, LpmEngine::kBinaryTrie);
+}
+void BM_LookupPatricia(benchmark::State& state) {
+  run_lookup(state, LpmEngine::kPatricia);
+}
+void BM_LookupDir24(benchmark::State& state) { run_lookup(state, LpmEngine::kDir24); }
+
+BENCHMARK(BM_LookupBinaryTrie)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LookupPatricia)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_LookupDir24)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void run_insert(benchmark::State& state, LpmEngine engine) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto routes = make_routes(count, 99);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto table = fib::make_lpm<32>(engine);
+    state.ResumeTiming();
+    std::uint32_t nh = 0;
+    for (const auto& p : routes) table->insert(p, nh++ % 256);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_InsertBinaryTrie(benchmark::State& state) {
+  run_insert(state, LpmEngine::kBinaryTrie);
+}
+void BM_InsertPatricia(benchmark::State& state) {
+  run_insert(state, LpmEngine::kPatricia);
+}
+void BM_InsertDir24(benchmark::State& state) { run_insert(state, LpmEngine::kDir24); }
+
+BENCHMARK(BM_InsertBinaryTrie)->Arg(10000);
+BENCHMARK(BM_InsertPatricia)->Arg(10000);
+BENCHMARK(BM_InsertDir24)->Arg(10000);
+
+// IPv6 lookup (F_128_match cost).
+void run_lookup6(benchmark::State& state, LpmEngine engine) {
+  auto table = fib::make_lpm<128>(engine);
+  crypto::Xoshiro256 rng(11);
+  std::vector<fib::Ipv6Addr> probes;
+  for (int i = 0; i < 10000; ++i) {
+    fib::Ipv6Addr a;
+    a.bytes[0] = 0x20;
+    a.bytes[1] = 0x01;
+    for (std::size_t b = 2; b < 16; ++b) a.bytes[b] = static_cast<std::uint8_t>(rng.next());
+    fib::Prefix<128> p{a, static_cast<std::uint8_t>(32 + rng.below(33))};
+    p.normalize();
+    table->insert(p, static_cast<std::uint32_t>(rng.below(256)));
+    probes.push_back(a);
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->lookup(probes[i++ % probes.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Lookup6BinaryTrie(benchmark::State& state) {
+  run_lookup6(state, LpmEngine::kBinaryTrie);
+}
+void BM_Lookup6Patricia(benchmark::State& state) {
+  run_lookup6(state, LpmEngine::kPatricia);
+}
+BENCHMARK(BM_Lookup6BinaryTrie);
+BENCHMARK(BM_Lookup6Patricia);
+
+// Name FIB (control-plane F_FIB).
+void BM_NameFibLookup(benchmark::State& state) {
+  fib::NameFib name_fib;
+  crypto::Xoshiro256 rng(5);
+  std::vector<fib::Name> names;
+  for (int i = 0; i < 10000; ++i) {
+    fib::Name n;
+    n.append("org" + std::to_string(rng.below(64)));
+    n.append("site" + std::to_string(rng.below(256)));
+    n.append("obj" + std::to_string(i));
+    name_fib.insert(n.prefix(2), static_cast<std::uint32_t>(rng.below(16)));
+    names.push_back(std::move(n));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(name_fib.lookup(names[i++ % names.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NameFibLookup);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

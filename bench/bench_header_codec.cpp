@@ -1,0 +1,90 @@
+// A5 — header codec throughput: parse/serialize/bind per §3 composition,
+// plus the bit-slicing fast vs slow path inside FN field access.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "dip/bytes/bitfield.hpp"
+
+namespace dip::bench {
+namespace {
+
+const std::vector<std::uint8_t>& wire_for(const std::string& protocol) {
+  static const auto wires = [] {
+    std::map<std::string, std::vector<std::uint8_t>> m;
+    m["dip32"] = dip32_packet(0);
+    m["dip128"] = dip128_packet(0);
+    m["ndn"] = ndn_interest_packet(0);
+    m["opt"] = opt_packet(0);
+    m["ndn_opt"] = ndn_opt_packet(0, true);
+    return m;
+  }();
+  return wires.at(protocol);
+}
+
+void run_parse(benchmark::State& state, const std::string& protocol) {
+  const auto& wire = wire_for(protocol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DipHeader::parse(wire));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void run_bind(benchmark::State& state, const std::string& protocol) {
+  auto wire = wire_for(protocol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::HeaderView::bind(wire));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void run_serialize(benchmark::State& state, const std::string& protocol) {
+  const auto header = core::DipHeader::parse(wire_for(protocol));
+  std::vector<std::uint8_t> out(header->wire_size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(header->serialize(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+#define DIP_CODEC_BENCH(proto)                                                  \
+  void BM_Parse_##proto(benchmark::State& s) { run_parse(s, #proto); }          \
+  void BM_Bind_##proto(benchmark::State& s) { run_bind(s, #proto); }            \
+  void BM_Serialize_##proto(benchmark::State& s) { run_serialize(s, #proto); }  \
+  BENCHMARK(BM_Parse_##proto);                                                  \
+  BENCHMARK(BM_Bind_##proto);                                                   \
+  BENCHMARK(BM_Serialize_##proto)
+
+DIP_CODEC_BENCH(dip32);
+DIP_CODEC_BENCH(dip128);
+DIP_CODEC_BENCH(ndn);
+DIP_CODEC_BENCH(opt);
+DIP_CODEC_BENCH(ndn_opt);
+#undef DIP_CODEC_BENCH
+
+// Bit-slicing: byte-aligned memcpy fast path vs bit-shifting slow path.
+void BM_ExtractAligned(benchmark::State& state) {
+  std::vector<std::uint8_t> block(128, 0x5A);
+  std::array<std::uint8_t, 16> out{};
+  const bytes::BitRange range{128, 128};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bytes::extract_bits(block, range, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExtractAligned);
+
+void BM_ExtractUnaligned(benchmark::State& state) {
+  std::vector<std::uint8_t> block(128, 0x5A);
+  std::array<std::uint8_t, 17> out{};
+  const bytes::BitRange range{131, 128};  // 3-bit skew
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bytes::extract_bits(block, range, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExtractUnaligned);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

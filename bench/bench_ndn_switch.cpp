@@ -1,0 +1,56 @@
+// A12 — NDN on the switch model: per-packet cost of the register-PIT
+// program (parser + LPM + stateful ALU) vs the software NDN router, in both
+// wall time and modeled cycles.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "dip/pisa/ndn_switch.hpp"
+
+namespace dip::bench {
+namespace {
+
+void BM_SwitchNdnInterestData(benchmark::State& state) {
+  pisa::NdnSwitchForwarder sw(1 << 16);
+  const std::uint32_t code = bench_name_code();
+  sw.add_name_route({fib::ipv4_from_u32(code), 8}, 1);
+  const auto interest = ndn::make_interest_header32(code)->serialize();
+  const auto data = ndn::make_data_header32(code)->serialize();
+
+  pisa::Cycles cycles = 0;
+  for (auto _ : state) {
+    const auto up = sw.process(interest, 3);
+    benchmark::DoNotOptimize(up);
+    const auto down = sw.process(data, 1);
+    benchmark::DoNotOptimize(down);
+    cycles = up->cycles + down->cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+  state.counters["model_cycles_per_pair"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_SwitchNdnInterestData);
+
+void BM_SoftwareNdnInterestData(benchmark::State& state) {
+  core::RouterEnv env = bench_env();
+  ndn::install_name_route(*env.fib32, fib::Name::parse("/hotnets"), 1);
+  core::Router router(std::move(env), shared_registry().get());
+  const auto interest_base = ndn_interest_packet(0);
+  const auto data_base = ndn_data_packet(0);
+  std::vector<std::uint8_t> interest = interest_base;
+  std::vector<std::uint8_t> data = data_base;
+
+  for (auto _ : state) {
+    std::memcpy(interest.data(), interest_base.data(), interest.size());
+    benchmark::DoNotOptimize(router.process(interest, 0, 0));
+    std::memcpy(data.data(), data_base.data(), data.size());
+    benchmark::DoNotOptimize(router.process(data, 1, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SoftwareNdnInterestData);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

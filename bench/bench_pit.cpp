@@ -1,0 +1,106 @@
+// A4 — PIT throughput: the stateful cost inside F_FIB (interest recording)
+// and F_PIT (data matching), vs resident table size.
+#include <benchmark/benchmark.h>
+
+#include "dip/crypto/random.hpp"
+#include "dip/pit/content_store.hpp"
+#include "dip/pit/pit.hpp"
+
+namespace dip::bench {
+namespace {
+
+using pit::Pit;
+
+/// Steady state: each iteration records an interest and immediately
+/// satisfies it, with `resident` other entries already in the table.
+void BM_PitRecordSatisfy(benchmark::State& state) {
+  Pit::Config config;
+  config.max_entries = 1 << 22;
+  Pit table(config);
+  const auto resident = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < resident; ++i) {
+    table.record_interest(0xF000'0000'0000'0000ULL + i, 1, 0);
+  }
+
+  std::uint64_t code = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.record_interest(code, 1, 0));
+    benchmark::DoNotOptimize(table.match_data(code, 0));
+    ++code;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_PitRecordSatisfy)->Arg(0)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PitAggregation(benchmark::State& state) {
+  Pit table;
+  table.record_interest(7, 0, 0);
+  std::uint32_t face = 1;
+  for (auto _ : state) {
+    // Alternate two faces: every record is an aggregation or duplicate.
+    benchmark::DoNotOptimize(table.record_interest(7, face ^= 1, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PitAggregation);
+
+void BM_PitMiss(benchmark::State& state) {
+  Pit table;
+  for (std::uint64_t i = 0; i < 4096; ++i) table.record_interest(i, 1, 0);
+  std::uint64_t code = 1 << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.match_data(code++, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PitMiss);
+
+void BM_PitExpirySweep(benchmark::State& state) {
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pit::Config config;
+    config.entry_lifetime = 100;
+    config.max_entries = 1 << 22;
+    Pit table(config);
+    for (std::uint64_t i = 0; i < entries; ++i) table.record_interest(i, 1, 0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(table.expire(1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries));
+}
+BENCHMARK(BM_PitExpirySweep)->Arg(1 << 10)->Arg(1 << 16);
+
+// Content-store legs (footnote-2 extension).
+void BM_ContentStoreHit(benchmark::State& state) {
+  pit::ContentStore cs(1 << 16);
+  crypto::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> payload(1024);
+  for (std::uint64_t i = 0; i < (1 << 14); ++i) cs.insert(i, payload);
+
+  std::uint64_t code = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.lookup(code++ & ((1 << 14) - 1)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ContentStoreHit);
+
+void BM_ContentStoreInsertEvict(benchmark::State& state) {
+  pit::ContentStore cs(1 << 10);  // small: every insert evicts
+  std::vector<std::uint8_t> payload(1024);
+  for (std::uint64_t i = 0; i < (1 << 10); ++i) cs.insert(i, payload);
+
+  std::uint64_t code = 1 << 20;
+  for (auto _ : state) {
+    cs.insert(code++, payload);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ContentStoreInsertEvict);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// A8 — the §2.4 security knob: cost of F_pass enforcement on and off.
+//
+// "Although enabling F_pass all the time is expensive, DIP allows the
+// network operators to dynamically adjust security policies based on
+// network conditions." This bench quantifies "expensive": per-packet cost
+// of an NDN data packet with the F_pass FN present, with enforcement
+// toggled, across payload sizes (the label MAC covers the payload).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "dip/security/pass.hpp"
+
+namespace dip::bench {
+namespace {
+
+std::vector<std::uint8_t> labeled_packet(const crypto::Block& pass_key,
+                                         std::size_t payload_size) {
+  std::vector<std::uint8_t> payload(payload_size, 0x77);
+  core::HeaderBuilder b;
+  const crypto::Block label = security::issue_label(pass_key, payload);
+  b.add_router_fn(core::OpKey::kPass, label);
+  b.add_router_fn(core::OpKey::kFib, fib::ipv4_from_u32(0x0A010109).bytes);
+  auto wire = b.build()->serialize();
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+void run(benchmark::State& state, bool enforce) {
+  core::RouterEnv env = bench_env();
+  env.pass_key = crypto::Xoshiro256(77).block();
+  env.enforce_pass = enforce;
+  core::Router router(std::move(env), shared_registry().get());
+
+  const auto base =
+      labeled_packet(router.env().pass_key, static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> packet = base;
+  for (auto _ : state) {
+    std::memcpy(packet.data(), base.data(), packet.size());
+    benchmark::DoNotOptimize(router.process(packet, 0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_PassOff(benchmark::State& state) { run(state, false); }
+void BM_PassOn(benchmark::State& state) { run(state, true); }
+
+BENCHMARK(BM_PassOff)->Arg(64)->Arg(512)->Arg(1400);
+BENCHMARK(BM_PassOn)->Arg(64)->Arg(512)->Arg(1400);
+
+// The raw label computation, for reference.
+void BM_IssueLabel(benchmark::State& state) {
+  const crypto::Block key = crypto::Xoshiro256(1).block();
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(security::issue_label(key, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IssueLabel)->Arg(64)->Arg(1400);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

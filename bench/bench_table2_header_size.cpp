@@ -1,0 +1,105 @@
+// E2 — Table 2: packet header size overhead.
+//
+// Regenerates the table from the live codecs (not constants): each row is
+// the serialized size of the actual composition. The paper's numbers are
+// printed alongside for direct comparison — they must match exactly, since
+// the wire format was derived from them (DESIGN.md §3).
+//
+// The timed benchmarks below measure serialization cost per composition so
+// the binary also earns its keep as a benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dip/legacy/ipv4.hpp"
+#include "dip/legacy/ipv6.hpp"
+
+namespace dip::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  std::size_t measured;
+  std::size_t paper;
+};
+
+std::vector<Row> build_rows() {
+  const auto dip32 = core::make_dip32_header(fib::parse_ipv4("10.0.0.1").value(),
+                                             fib::parse_ipv4("10.0.0.2").value());
+  const auto dip128 = core::make_dip128_header(fib::parse_ipv6("::1").value(),
+                                               fib::parse_ipv6("::2").value());
+  const auto ndn = ndn::make_interest_header32(bench_name_code());
+  const auto opt = opt::make_opt_header(bench_session(), std::vector<std::uint8_t>{1},
+                                        1000);
+  const auto ndn_opt = opt::make_ndn_opt_header(bench_name_code(), false,
+                                                bench_session(),
+                                                std::vector<std::uint8_t>{1}, 1000);
+
+  return {
+      {"IPv6 forwarding", legacy::Ipv6Header::kWireSize, 40},
+      {"IPv4 forwarding", legacy::Ipv4Header::kWireSize, 20},
+      {"DIP-128 forwarding", dip128->serialize().size(), 50},
+      {"DIP-32 forwarding", dip32->serialize().size(), 26},
+      {"NDN forwarding", ndn->serialize().size(), 16},
+      {"OPT forwarding", opt->serialize().size(), 98},
+      {"NDN+OPT forwarding", ndn_opt->serialize().size(), 108},
+  };
+}
+
+void print_table() {
+  std::printf("=== Table 2: packet header size overhead (bytes) ===\n");
+  std::printf("%-22s %10s %8s %8s\n", "Network function", "measured", "paper", "match");
+  bool all_match = true;
+  for (const Row& row : build_rows()) {
+    const bool match = row.measured == row.paper;
+    all_match &= match;
+    std::printf("%-22s %10zu %8zu %8s\n", row.name, row.measured, row.paper,
+                match ? "yes" : "NO");
+  }
+  std::printf("%s\n\n", all_match ? "All rows match the paper exactly."
+                                  : "MISMATCH against the paper!");
+}
+
+// Serialization cost per composition (bonus measurements).
+
+void BM_SerializeDip32(benchmark::State& state) {
+  const auto h = core::make_dip32_header(fib::parse_ipv4("10.0.0.1").value(),
+                                         fib::parse_ipv4("10.0.0.2").value());
+  std::vector<std::uint8_t> out(h->wire_size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->serialize(out));
+  }
+}
+BENCHMARK(BM_SerializeDip32);
+
+void BM_SerializeOpt(benchmark::State& state) {
+  const auto h =
+      opt::make_opt_header(bench_session(), std::vector<std::uint8_t>{1}, 1000);
+  std::vector<std::uint8_t> out(h->wire_size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->serialize(out));
+  }
+}
+BENCHMARK(BM_SerializeOpt);
+
+void BM_SerializeNdnOpt(benchmark::State& state) {
+  const auto h = opt::make_ndn_opt_header(1, false, bench_session(),
+                                          std::vector<std::uint8_t>{1}, 1000);
+  std::vector<std::uint8_t> out(h->wire_size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->serialize(out));
+  }
+}
+BENCHMARK(BM_SerializeNdnOpt);
+
+}  // namespace
+}  // namespace dip::bench
+
+int main(int argc, char** argv) {
+  dip::bench::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared workload builders for the benchmark harness.
+//
+// Every bench processes packets built here so protocol compositions are
+// identical across binaries (and identical to the tests).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dip/core/ip.hpp"
+#include "dip/core/router.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/netsim/dip_node.hpp"
+#include "dip/netsim/topology.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/xia/xia.hpp"
+
+namespace dip::bench {
+
+inline std::shared_ptr<core::OpRegistry> shared_registry() {
+  static auto registry = netsim::make_default_registry();
+  return registry;
+}
+
+/// Pad `packet` with payload bytes up to `total_size` (the paper's 128/768/
+/// 1500-byte frames). Smaller totals leave the packet as-is.
+inline std::vector<std::uint8_t> pad_to(std::vector<std::uint8_t> packet,
+                                        std::size_t total_size) {
+  if (packet.size() < total_size) packet.resize(total_size, 0xA5);
+  return packet;
+}
+
+/// A router environment with routes installed for every protocol workload.
+inline core::RouterEnv bench_env() {
+  core::RouterEnv env = netsim::make_basic_env(1);
+  env.default_egress = 1;
+  // 10/8 (and a spread of longer prefixes for realism).
+  env.fib32->insert({fib::parse_ipv4("10.0.0.0").value(), 8}, 1);
+  env.fib32->insert({fib::parse_ipv4("10.1.0.0").value(), 16}, 2);
+  env.fib32->insert({fib::parse_ipv4("10.1.1.0").value(), 24}, 3);
+  env.fib128->insert({fib::parse_ipv6("2001:db8::").value(), 32}, 1);
+  env.fib128->insert({fib::parse_ipv6("2001:db8:1::").value(), 48}, 2);
+  return env;
+}
+
+inline std::vector<std::uint8_t> dip32_packet(std::size_t size) {
+  const auto h = core::make_dip32_header(fib::parse_ipv4("10.1.1.9").value(),
+                                         fib::parse_ipv4("172.16.0.1").value());
+  return pad_to(h->serialize(), size);
+}
+
+inline std::vector<std::uint8_t> dip128_packet(std::size_t size) {
+  const auto h = core::make_dip128_header(fib::parse_ipv6("2001:db8:1::9").value(),
+                                          fib::parse_ipv6("2001:db8::1").value());
+  return pad_to(h->serialize(), size);
+}
+
+inline std::uint32_t bench_name_code() {
+  return ndn::encode_name32(fib::Name::parse("/hotnets/org"));
+}
+
+inline std::vector<std::uint8_t> ndn_interest_packet(std::size_t size) {
+  return pad_to(ndn::make_interest_header32(bench_name_code())->serialize(), size);
+}
+
+inline std::vector<std::uint8_t> ndn_data_packet(std::size_t size) {
+  return pad_to(ndn::make_data_header32(bench_name_code())->serialize(), size);
+}
+
+/// The OPT session all OPT benches share (single-hop, as in §4.1: "The
+/// header length of OPT varies with the path length and we use one hop").
+inline const opt::Session& bench_session() {
+  static const opt::Session session = [] {
+    crypto::Xoshiro256 rng(0xBE7C);
+    const std::vector<crypto::Block> secrets{netsim::make_basic_env(1).node_secret};
+    return opt::negotiate_session(rng.block(), secrets, rng.block());
+  }();
+  return session;
+}
+
+inline std::vector<std::uint8_t> opt_packet(std::size_t size) {
+  const std::vector<std::uint8_t> payload = {'b', 'e', 'n', 'c', 'h'};
+  const auto h = opt::make_opt_header(bench_session(), payload, 1000);
+  auto wire = h->serialize();
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return pad_to(std::move(wire), size);
+}
+
+inline std::vector<std::uint8_t> ndn_opt_packet(std::size_t size, bool interest) {
+  const std::vector<std::uint8_t> payload = {'b', 'e', 'n', 'c', 'h'};
+  const auto h = opt::make_ndn_opt_header(bench_name_code(), interest, bench_session(),
+                                          payload, 1000);
+  auto wire = h->serialize();
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return pad_to(std::move(wire), size);
+}
+
+inline std::vector<std::uint8_t> xia_packet(std::size_t size) {
+  const auto dag = xia::make_service_dag(
+      xia::xid_from_label("bench-ad"), xia::xid_from_label("bench-hid"),
+      fib::XidType::kSid, xia::xid_from_label("bench-sid"));
+  return pad_to(xia::make_xia_header(dag)->serialize(), size);
+}
+
+/// Install the XIA routes the xia_packet() needs.
+inline void install_xia_routes(core::RouterEnv& env, core::FaceId face) {
+  env.xid_table->insert(fib::XidType::kSid, xia::xid_from_label("bench-sid"), face);
+  env.xid_table->insert(fib::XidType::kAd, xia::xid_from_label("bench-ad"), face);
+}
+
+}  // namespace dip::bench

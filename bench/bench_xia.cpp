@@ -1,0 +1,85 @@
+// A6 — XIA costs: DAG parse and F_DAG fallback traversal vs DAG size and
+// fallback depth.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.hpp"
+
+namespace dip::bench {
+namespace {
+
+using fib::XidType;
+using xia::Dag;
+
+/// A chain DAG of n nodes: 0 -> 1 -> ... -> n-1 (intent last), with the
+/// source pointing at node 0 (and optionally directly at the intent).
+Dag chain_dag(std::size_t nodes, bool direct_intent) {
+  Dag dag;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    (void)dag.add_node({i + 1 == nodes ? XidType::kSid : XidType::kAd,
+                        xia::xid_from_label("chain" + std::to_string(i)),
+                        {}});
+  }
+  if (direct_intent) (void)dag.add_edge(Dag::kSourceCursor, static_cast<std::uint8_t>(nodes - 1));
+  (void)dag.add_edge(Dag::kSourceCursor, 0);
+  for (std::size_t i = 0; i + 1 < nodes; ++i) {
+    (void)dag.add_edge(static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i + 1));
+  }
+  dag.set_intent(static_cast<std::uint8_t>(nodes - 1));
+  return dag;
+}
+
+void BM_DagParse(benchmark::State& state) {
+  const auto wire = chain_dag(static_cast<std::size_t>(state.range(0)), true)
+                        .serialize(Dag::kSourceCursor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xia::parse_dag(wire));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DagParse)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DagSerialize(benchmark::State& state) {
+  const Dag dag = chain_dag(static_cast<std::size_t>(state.range(0)), true);
+  std::vector<std::uint8_t> out(dag.wire_size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag.serialize(Dag::kSourceCursor, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DagSerialize)->Arg(2)->Arg(8);
+
+/// Router-level traversal with the route installed at fallback position
+/// `depth`: the first `depth` candidates miss before one hits. Measures how
+/// fallback depth costs on the data plane.
+void run_traversal(benchmark::State& state, bool direct_route) {
+  core::RouterEnv env = bench_env();
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const Dag dag = chain_dag(nodes, /*direct_intent=*/true);
+  if (direct_route) {
+    env.xid_table->insert(XidType::kSid,
+                          xia::xid_from_label("chain" + std::to_string(nodes - 1)), 1);
+  } else {
+    env.xid_table->insert(XidType::kAd, xia::xid_from_label("chain0"), 1);
+  }
+  core::Router router(std::move(env), shared_registry().get());
+
+  const auto base = xia::make_xia_header(dag)->serialize();
+  std::vector<std::uint8_t> packet = base;
+  for (auto _ : state) {
+    std::memcpy(packet.data(), base.data(), packet.size());
+    benchmark::DoNotOptimize(router.process(packet, 0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TraverseDirectHit(benchmark::State& state) { run_traversal(state, true); }
+void BM_TraverseFallback(benchmark::State& state) { run_traversal(state, false); }
+BENCHMARK(BM_TraverseDirectHit)->Arg(3)->Arg(8);
+BENCHMARK(BM_TraverseFallback)->Arg(3)->Arg(8);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// NetFence-style DDoS mitigation with F_cc — the §1 motivating protocol
+// ("NetFence inserts a slim customized header ... to emulate congestion
+// control (AIMD) inside the network to mitigate DDoS attacks"), realized as
+// one Field Operation.
+//
+// Scenario: a well-behaved AIMD sender and a flooding attacker share a
+// bottleneck. Both carry the MAC-protected F_cc tag. The bottleneck stamps
+// kDown when congested; the honest sender obeys and converges, the attacker
+// ignores feedback — and the receiver can *prove* (via the MAC'd tags) that
+// the attacker's traffic kept arriving above the advised rate, the NetFence
+// policing trigger.
+#include <cstdio>
+
+#include "dip/netfence/netfence.hpp"
+#include "dip/netsim/topology.hpp"
+
+int main() {
+  using namespace dip;
+  using namespace dip::netfence;
+
+  std::printf("== NetFence-as-an-FN: AIMD vs a flooding attacker ==\n\n");
+
+  const crypto::Block as_key = crypto::Xoshiro256(0xFE7CE).block();
+
+  // Bottleneck router: 100 kB/s capacity, per-node registry with F_cc.
+  auto registry = std::make_shared<core::OpRegistry>();
+  CongestionMonitor::Config monitor;
+  monitor.capacity_bytes_per_sec = 100'000;
+  monitor.window = 1 * kMillisecond;
+  registry->add(std::make_unique<CcOp>(as_key, monitor));
+
+  auto env = netsim::make_basic_env(1);
+  env.default_egress = 1;
+  core::Router bottleneck(std::move(env), registry.get());
+
+  AimdSender honest;  // starts at 100 kB/s, AI +10 kB/s, MD x0.5
+  const std::uint32_t attacker_rate = 800'000;  // flat 800 kB/s, ignores feedback
+
+  constexpr std::size_t kPacket = 500;
+  SimTime now = 0;
+
+  std::printf("%5s %12s %12s %14s\n", "round", "honest B/s", "attacker B/s",
+              "bottleneck");
+  for (int round = 0; round < 20; ++round) {
+    std::optional<CcTag> honest_feedback;
+    std::uint64_t over_advice = 0;
+
+    // 10 ms round: interleave both senders at their current rates.
+    const std::uint64_t honest_packets =
+        std::max<std::uint64_t>(1, honest.rate() / 100 / kPacket);
+    const std::uint64_t attacker_packets =
+        std::max<std::uint64_t>(1, attacker_rate / 100 / kPacket);
+    const std::uint64_t total = honest_packets + attacker_packets;
+    for (std::uint64_t p = 0; p < total; ++p) {
+      const bool honest_turn = (p * honest_packets) % total < honest_packets;
+      core::HeaderBuilder b;
+      add_cc_fn(b, as_key);
+      auto wire = b.build()->serialize();
+      wire.insert(wire.end(), kPacket - wire.size(), 0);
+      (void)bottleneck.process(wire, honest_turn ? 0 : 1, now);
+      now += (10 * kMillisecond) / total;
+
+      const auto h = core::DipHeader::parse(wire);
+      const auto tag = verify_cc_tag(h->locations, as_key);
+      if (!tag) continue;  // would indicate tag forgery
+      if (honest_turn) {
+        honest_feedback = *tag;
+      } else if (tag->action == CcAction::kDown) {
+        ++over_advice;  // receiver-side evidence against the attacker
+      }
+    }
+    if (honest_feedback) honest.on_feedback(*honest_feedback);
+
+    if (round % 4 == 0 || round == 19) {
+      std::printf("%5d %12u %12u %11s (%llu attacker pkts marked)\n", round,
+                  honest.rate(), attacker_rate,
+                  honest_feedback && honest_feedback->action == CcAction::kDown
+                      ? "congested"
+                      : "ok",
+                  static_cast<unsigned long long>(over_advice));
+    }
+  }
+
+  std::printf("\nhonest sender: %u B/s after %llu decreases — AIMD obeyed the\n"
+              "MAC-protected feedback; the attacker's marked packets are the\n"
+              "receiver's cryptographic evidence for NetFence-style policing.\n",
+              honest.rate(), static_cast<unsigned long long>(honest.decreases()));
+
+  return honest.rate() <= 120'000 ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+// Protocol zoo: all five §3 protocols over ONE topology and ONE registry.
+//
+// The point of DIP is that a single shared L3 core (the FN modules) carries
+// radically different protocols simultaneously. This example sends an
+// IPv4-over-DIP packet, an IPv6-over-DIP packet, an NDN interest/data
+// exchange, an OPT-authenticated packet, and an XIA DAG packet through the
+// same three routers — no per-protocol forwarding code anywhere.
+#include <algorithm>
+#include <cstdio>
+
+#include "dip/core/ip.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/netsim/topology.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/xia/xia.hpp"
+
+namespace {
+
+struct Scoreboard {
+  int delivered = 0;
+  int verified = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dip;
+
+  std::printf("== Protocol zoo: IP / NDN / OPT / XIA on one DIP data plane ==\n\n");
+
+  constexpr std::size_t kHops = 3;
+  netsim::Network net;
+  auto registry = netsim::make_default_registry();
+  auto path = netsim::make_linear_path(net, kHops, registry, [](std::size_t i) {
+    return netsim::make_basic_env(static_cast<std::uint32_t>(i));
+  });
+
+  // --- populate every table once ------------------------------------------
+  const fib::Name content = fib::Name::parse("/zoo/elephant");
+  const auto ad = xia::xid_from_label("zoo-as");
+  const auto hid = xia::xid_from_label("zoo-host");
+  const auto sid = xia::xid_from_label("zoo-service");
+
+  std::vector<crypto::Block> secrets;
+  for (std::size_t i = 0; i < kHops; ++i) {
+    auto& env = path->routers[i]->env();
+    env.default_egress.reset();
+    const auto down = path->downstream_face[i];
+    env.fib32->insert({fib::parse_ipv4("10.0.0.0").value(), 8}, down);
+    env.fib128->insert({fib::parse_ipv6("2001:db8::").value(), 32}, down);
+    ndn::install_name_route(*env.fib32, fib::Name::parse("/zoo"), down);
+    if (i + 1 < kHops) {
+      env.xid_table->insert(fib::XidType::kAd, ad, down);
+    } else {
+      env.xid_table->set_local(fib::XidType::kAd, ad);
+      env.xid_table->insert(fib::XidType::kHid, hid, down);
+    }
+    secrets.push_back(env.node_secret);
+  }
+
+  // OPT needs a default forwarding port (the paper's wired one-hop setup,
+  // generalized): re-enable it only for the OPT run later via match-free
+  // forwarding. We instead ride OPT on top of DIP-32 forwarding — compose!
+  crypto::Xoshiro256 rng(7);
+  const auto session = opt::negotiate_session(rng.block(), secrets, rng.block());
+
+  Scoreboard score;
+  path->destination.set_receiver([&](netsim::FaceId face, netsim::PacketBytes packet,
+                                     SimTime) {
+    const auto h = core::DipHeader::parse(packet);
+    if (!h) return;
+    ++score.delivered;
+
+    // Which protocol was that? Read the FN program.
+    std::string program;
+    for (const auto& fn : h->fns) {
+      program += std::string(core::op_key_name(fn.key())) + " ";
+    }
+    std::printf("[dst] packet %d delivered; FN program: %s\n", score.delivered,
+                program.c_str());
+
+    // NDN interests get answered.
+    if (!h->fns.empty() && h->fns[0].key() == core::OpKey::kFib) {
+      const auto code = ndn::extract_name_code(*h);
+      if (code) {
+        auto reply = ndn::make_data_header32(*code)->serialize();
+        reply.push_back('z');
+        path->destination.send(face, std::move(reply));
+      }
+    }
+    // OPT packets get verified: the F_ver triple tells us where the 544-bit
+    // block sits, wherever the host placed it.
+    const auto ver = std::find_if(h->fns.begin(), h->fns.end(), [](const auto& fn) {
+      return fn.key() == core::OpKey::kVer;
+    });
+    if (ver != h->fns.end()) {
+      const auto payload =
+          std::span<const std::uint8_t>(packet).subspan(h->wire_size());
+      if (opt::verify_packet(session, h->locations, payload, 0, 0,
+                             ver->field_loc / 8) == opt::VerifyResult::kOk) {
+        ++score.verified;
+        std::printf("[dst]   ... and the OPT chain verified (source+path OK)\n");
+      }
+    }
+  });
+  path->source.set_receiver([&](netsim::FaceId, netsim::PacketBytes packet, SimTime) {
+    const auto h = core::DipHeader::parse(packet);
+    if (h && !h->fns.empty() && h->fns[0].key() == core::OpKey::kPit) {
+      std::printf("[src] NDN data came back (%zu bytes)\n", packet.size());
+    }
+  });
+
+  // --- 1: IPv4-over-DIP -----------------------------------------------------
+  std::printf("-- DIP-32 --\n");
+  path->source.send(path->source_face,
+                    core::make_dip32_header(fib::parse_ipv4("10.1.1.9").value(),
+                                            fib::parse_ipv4("172.16.0.1").value())
+                        ->serialize());
+  net.run();
+
+  // --- 2: IPv6-over-DIP -----------------------------------------------------
+  std::printf("-- DIP-128 --\n");
+  path->source.send(path->source_face,
+                    core::make_dip128_header(fib::parse_ipv6("2001:db8::9").value(),
+                                             fib::parse_ipv6("2001:db8::1").value())
+                        ->serialize());
+  net.run();
+
+  // --- 3: NDN interest/data --------------------------------------------------
+  std::printf("-- NDN --\n");
+  path->source.send(path->source_face, ndn::make_interest_header(content)->serialize());
+  net.run();
+
+  // --- 4: OPT (composed with DIP-32 forwarding — a derived protocol!) --------
+  std::printf("-- OPT (riding DIP-32 forwarding) --\n");
+  {
+    const std::vector<std::uint8_t> payload = {'s', '3', 'c', 'r', '3', 't'};
+    const auto block = opt::make_source_block(session, payload, 1000);
+    core::HeaderBuilder b;
+    // Forwarding FNs first, then the OPT chain over a trailing block.
+    b.add_router_fn(core::OpKey::kMatch32, fib::parse_ipv4("10.1.1.9").value().bytes);
+    b.add_router_fn(core::OpKey::kSource, fib::parse_ipv4("172.16.0.1").value().bytes);
+    const std::uint16_t loc = b.add_location(block);
+    b.add_fn(core::FnTriple::router(loc + 128, 128, core::OpKey::kParm));
+    b.add_fn(core::FnTriple::router(loc, 416, core::OpKey::kMac));
+    b.add_fn(core::FnTriple::router(loc + 288, 128, core::OpKey::kMark));
+    b.add_fn(core::FnTriple::host(loc, 544, core::OpKey::kVer));
+    auto wire = b.build()->serialize();
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    path->source.send(path->source_face, std::move(wire));
+    net.run();
+  }
+
+  // --- 5: XIA -----------------------------------------------------------------
+  std::printf("-- XIA --\n");
+  const auto dag = xia::make_service_dag(ad, hid, fib::XidType::kSid, sid, false);
+  path->source.send(path->source_face, xia::make_xia_header(dag)->serialize());
+  net.run();
+
+  std::printf("\n%d packets delivered, %d OPT-verified — five protocols, one data "
+              "plane.\n",
+              score.delivered, score.verified);
+  return score.delivered >= 5 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Quickstart: compose a DIP header, run it through a 3-router simulated
+// path, and watch Algorithm 1 forward it.
+//
+//   $ ./quickstart
+//
+// Walks through the §2 pipeline: bootstrap (which FNs does the AS offer?),
+// host construction (build the FN program), and router processing.
+#include <cstdio>
+
+#include "dip/bootstrap/dhcp.hpp"
+#include "dip/bytes/hex.hpp"
+#include "dip/core/ip.hpp"
+#include "dip/netsim/topology.hpp"
+
+int main() {
+  using namespace dip;
+
+  std::printf("== DIP quickstart: IPv4-over-DIP across three routers ==\n\n");
+
+  // --- 1. Bootstrap (§2.3): ask the access AS which FNs it supports. -----
+  bootstrap::BootstrapServer access_as(bootstrap::full_capability_set());
+  bootstrap::BootstrapClient host;
+  host.learn(access_as.respond(bootstrap::DiscoverRequest{}));
+  std::printf("[bootstrap] AS offers %zu field operations\n", host.offered().size());
+
+  // --- 2. Host construction (§2.3): build the DIP-32 header. -------------
+  const auto dst = fib::parse_ipv4("10.1.1.9").value();
+  const auto src = fib::parse_ipv4("172.16.0.1").value();
+  const auto header = core::make_dip32_header(dst, src);
+  if (!header) return 1;
+  if (const auto missing = host.first_missing(header->fns)) {
+    std::printf("AS does not support %s — cannot send\n",
+                std::string(core::op_key_name(*missing)).c_str());
+    return 1;
+  }
+
+  auto packet = header->serialize();
+  const char payload[] = "hello, narrow waist";
+  packet.insert(packet.end(), payload, payload + sizeof(payload));
+
+  std::printf("[host] composed DIP-32 header: %zu bytes (paper Table 2: 26)\n",
+              header->wire_size());
+  std::printf("[host] FN program: ");
+  for (const auto& fn : header->fns) {
+    std::printf("(loc %u, len %u, %s) ", fn.field_loc, fn.field_len,
+                std::string(core::op_key_name(fn.key())).c_str());
+  }
+  std::printf("\n[host] wire bytes:\n%s\n",
+              bytes::hex_dump({packet.data(), header->wire_size()}).c_str());
+
+  // --- 3. Topology: source -- r0 -- r1 -- r2 -- destination. -------------
+  netsim::Network net;
+  auto registry = netsim::make_default_registry();
+  auto path = netsim::make_linear_path(net, 3, registry, [](std::size_t i) {
+    return netsim::make_basic_env(static_cast<std::uint32_t>(i));
+  });
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto& env = path->routers[i]->env();
+    env.default_egress.reset();  // the FIB must decide
+    env.fib32->insert({fib::parse_ipv4("10.0.0.0").value(), 8},
+                      path->downstream_face[i]);
+  }
+
+  // Trace every hop.
+  net.set_tap([](netsim::NodeId from, netsim::NodeId to, netsim::FaceId,
+                 std::span<const std::uint8_t>, SimTime at) {
+    std::printf("[t=%6llu ns] node %u -> node %u\n",
+                static_cast<unsigned long long>(at), from, to);
+  });
+
+  path->destination.set_receiver([&](netsim::FaceId, netsim::PacketBytes bytes,
+                                     SimTime at) {
+    const auto h = core::DipHeader::parse(bytes);
+    std::printf("\n[destination] got %zu bytes at t=%llu ns, hop limit now %u\n",
+                bytes.size(), static_cast<unsigned long long>(at),
+                h ? h->basic.hop_limit : 0);
+    std::printf("[destination] payload: \"%s\"\n",
+                reinterpret_cast<const char*>(bytes.data() + h->wire_size()));
+  });
+
+  // --- 4. Send and run. ---------------------------------------------------
+  path->source.send(path->source_face, packet);
+  net.run();
+
+  const auto& counters = path->routers[0]->env().counters;
+  std::printf("\n[router 0] processed=%llu forwarded=%llu fn_executed=%llu\n",
+              static_cast<unsigned long long>(counters.processed),
+              static_cast<unsigned long long>(counters.forwarded),
+              static_cast<unsigned long long>(counters.fn_executed));
+  std::printf("\nDone: one FN program, three routers, zero protocol-specific code\n"
+              "in the forwarding engine — that is the DIP pitch.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Secure content delivery with NDN+OPT — the paper's §2.3 walkthrough.
+//
+// "a host requests content with content name, and meanwhile it verifies the
+// content's source and the network path used to deliver the content are
+// secure."
+//
+// The consumer requests "/hotnets/org" with an NDN interest; the producer
+// answers with an NDN+OPT data packet whose authentication tags every
+// on-path router updates (F_parm -> F_MAC -> F_mark); the consumer runs
+// F_ver. We then let an attacker tamper with the payload mid-path and show
+// verification catching it.
+#include <cstdio>
+
+#include "dip/ndn/ndn.hpp"
+#include "dip/netsim/topology.hpp"
+#include "dip/opt/opt.hpp"
+
+int main() {
+  using namespace dip;
+
+  std::printf("== NDN+OPT: secure content delivery (paper 2.3 example) ==\n\n");
+
+  constexpr std::size_t kHops = 3;
+  netsim::Network net;
+  auto registry = netsim::make_default_registry();
+  auto path = netsim::make_linear_path(net, kHops, registry, [](std::size_t i) {
+    return netsim::make_basic_env(static_cast<std::uint32_t>(i));
+  });
+
+  const fib::Name name = fib::Name::parse("/hotnets/org");
+  const std::uint32_t code = ndn::encode_name32(name);
+  std::vector<crypto::Block> router_secrets;
+  for (std::size_t i = 0; i < kHops; ++i) {
+    auto& env = path->routers[i]->env();
+    env.default_egress.reset();
+    ndn::install_name_route(*env.fib32, fib::Name::parse("/hotnets"),
+                            path->downstream_face[i]);
+    router_secrets.push_back(env.node_secret);
+  }
+
+  // OPT key negotiation (footnote 3): data flows producer -> consumer, so
+  // the data path traverses the routers in reverse order.
+  std::vector<crypto::Block> data_path(router_secrets.rbegin(), router_secrets.rend());
+  crypto::Xoshiro256 rng(2022);
+  const crypto::Block consumer_secret = rng.block();
+  const opt::Session session =
+      opt::negotiate_session(rng.block(), data_path, consumer_secret);
+  std::printf("[setup] session established; %zu router keys derived\n\n",
+              session.router_keys.size());
+
+  const std::vector<std::uint8_t> content = {'D', 'I', 'P', ' ', 'p', 'a',
+                                             'p', 'e', 'r', '.', 'p', 'd', 'f'};
+
+  // Producer: answer interests with authenticated data.
+  path->destination.set_receiver([&](netsim::FaceId face, netsim::PacketBytes packet,
+                                     SimTime) {
+    const auto h = core::DipHeader::parse(packet);
+    if (!h || !ndn::extract_name_code(*h)) return;
+    std::printf("[producer] interest for %s arrived; sending NDN+OPT data "
+                "(header %zu B, paper: 108)\n",
+                name.to_string().c_str(),
+                opt::make_ndn_opt_header(code, false, session, content, 1)->wire_size());
+    const auto reply = opt::make_ndn_opt_header(code, /*interest=*/false, session,
+                                                content, /*timestamp=*/1000);
+    auto wire = reply->serialize();
+    wire.insert(wire.end(), content.begin(), content.end());
+    path->destination.send(face, std::move(wire));
+  });
+
+  // Consumer: verify the OPT chain on arrival.
+  auto verify_and_report = [&](const netsim::PacketBytes& packet) {
+    const auto h = core::DipHeader::parse(packet);
+    if (!h) return;
+    const auto payload =
+        std::span<const std::uint8_t>(packet).subspan(h->wire_size());
+    const auto verdict = opt::verify_packet(session, h->locations, payload);
+    std::printf("[consumer] data received, %zu B payload, F_ver verdict: %s\n",
+                payload.size(), std::string(opt::to_string(verdict)).c_str());
+  };
+  path->source.set_receiver([&](netsim::FaceId, netsim::PacketBytes packet, SimTime) {
+    verify_and_report(packet);
+  });
+
+  // --- Round 1: honest network. -------------------------------------------
+  std::printf("-- round 1: honest delivery --\n");
+  path->source.send(path->source_face, ndn::make_interest_header(name)->serialize());
+  net.run();
+
+  // --- Round 2: attacker swaps the content at the producer. ----------------
+  std::printf("\n-- round 2: forged content (attacker lacks the session keys) --\n");
+  path->destination.set_receiver([&](netsim::FaceId face, netsim::PacketBytes, SimTime) {
+    // A forged producer: right name, wrong keys (it cannot know K_D).
+    opt::Session forged = session;
+    forged.destination_key[0] ^= 0x55;
+    const std::vector<std::uint8_t> fake = {'m', 'a', 'l', 'w', 'a', 'r', 'e'};
+    const auto reply = opt::make_ndn_opt_header(code, false, forged, fake, 1000);
+    auto wire = reply->serialize();
+    wire.insert(wire.end(), fake.begin(), fake.end());
+    path->destination.send(face, std::move(wire));
+  });
+  path->source.send(path->source_face, ndn::make_interest_header(name)->serialize());
+  net.run();
+
+  std::printf("\nThe PVF chain anchored in the destination key rejects content\n"
+              "whose source never held the session keys — source validation and\n"
+              "path authentication riding on NDN delivery, composed from FNs.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification pipeline: release build + tests + benches, then an
+# ASan/UBSan build + tests. This is what CI should run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build =="
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== benches (smoke: min_time lowered) =="
+for b in build/bench/*; do
+  "$b" --benchmark_min_time=0.01 >/dev/null
+  echo "  $(basename "$b") ok"
+done
+
+echo "== examples =="
+for e in build/examples/*; do
+  "$e" >/dev/null
+  echo "  $(basename "$e") ok"
+done
+
+echo "== sanitizer build (ASan + UBSan) =="
+cmake -B build-san -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+  >/dev/null
+cmake --build build-san
+
+echo "== tests under sanitizers =="
+ctest --test-dir build-san --output-on-failure
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,52 @@
+// FN capability sets and their wire form (§2.3 "Available FNs").
+//
+// "After the host is connected to an accessed AS, it uses bootstrapping
+// mechanisms (similar to DHCP) to get the set of available FNs."
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+#include "dip/core/fn.hpp"
+
+namespace dip::bootstrap {
+
+/// The FNs a node/AS supports.
+class CapabilitySet {
+ public:
+  CapabilitySet() = default;
+  CapabilitySet(std::initializer_list<core::OpKey> keys) : keys_(keys) {}
+
+  void add(core::OpKey key) { keys_.insert(key); }
+  void remove(core::OpKey key) { keys_.erase(key); }
+  [[nodiscard]] bool supports(core::OpKey key) const { return keys_.contains(key); }
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] const std::set<core::OpKey>& keys() const noexcept { return keys_; }
+
+  /// True iff every key in `required` is present.
+  [[nodiscard]] bool covers(const CapabilitySet& required) const;
+
+  /// Set intersection — what survives a path through both.
+  [[nodiscard]] CapabilitySet intersect(const CapabilitySet& other) const;
+
+  /// Wire form: count:8 then key:16 each (sorted — canonical).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static bytes::Result<CapabilitySet> parse(
+      std::span<const std::uint8_t> data);
+
+  friend bool operator==(const CapabilitySet&, const CapabilitySet&) = default;
+
+ private:
+  std::set<core::OpKey> keys_;
+};
+
+/// Every FN of the paper's prototype (Table 1 + extensions).
+[[nodiscard]] CapabilitySet full_capability_set();
+
+/// Table 1 only (keys 1..11).
+[[nodiscard]] CapabilitySet table1_capability_set();
+
+}  // namespace dip::bootstrap

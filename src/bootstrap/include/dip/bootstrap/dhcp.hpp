@@ -1,0 +1,60 @@
+// DHCP-like FN discovery between a host and its access AS (§2.3).
+//
+// A four-byte-framed request/offer exchange: the host asks (optionally
+// constraining to FNs it cares about), the AS answers with its capability
+// set, and the host checks the offer against the composition it wants to
+// send before constructing headers.
+#pragma once
+
+#include <optional>
+
+#include "dip/bootstrap/capability.hpp"
+
+namespace dip::bootstrap {
+
+struct DiscoverRequest {
+  /// Empty = "tell me everything".
+  CapabilitySet interested;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static bytes::Result<DiscoverRequest> parse(
+      std::span<const std::uint8_t> data);
+};
+
+struct DiscoverOffer {
+  CapabilitySet available;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static bytes::Result<DiscoverOffer> parse(
+      std::span<const std::uint8_t> data);
+};
+
+/// AS side: answer a discovery request from this AS's capability set.
+class BootstrapServer {
+ public:
+  explicit BootstrapServer(CapabilitySet capabilities)
+      : capabilities_(std::move(capabilities)) {}
+
+  [[nodiscard]] DiscoverOffer respond(const DiscoverRequest& request) const;
+
+ private:
+  CapabilitySet capabilities_;
+};
+
+/// Host side: remember the offer; gate header construction on it.
+class BootstrapClient {
+ public:
+  void learn(const DiscoverOffer& offer) { offered_ = offer.available; }
+
+  [[nodiscard]] const CapabilitySet& offered() const noexcept { return offered_; }
+
+  /// The §2.3 host rule: only compose FNs the AS supports. Returns the
+  /// first missing key, or nullopt when the composition is sendable.
+  [[nodiscard]] std::optional<core::OpKey> first_missing(
+      std::span<const core::FnTriple> fns) const;
+
+ private:
+  CapabilitySet offered_;
+};
+
+}  // namespace dip::bootstrap

@@ -1,0 +1,63 @@
+#include "dip/bootstrap/capability.hpp"
+
+#include <algorithm>
+
+namespace dip::bootstrap {
+
+bool CapabilitySet::covers(const CapabilitySet& required) const {
+  return std::all_of(required.keys_.begin(), required.keys_.end(),
+                     [&](core::OpKey k) { return keys_.contains(k); });
+}
+
+CapabilitySet CapabilitySet::intersect(const CapabilitySet& other) const {
+  CapabilitySet out;
+  for (core::OpKey k : keys_) {
+    if (other.keys_.contains(k)) out.add(k);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> CapabilitySet::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + keys_.size() * 2);
+  out.push_back(static_cast<std::uint8_t>(keys_.size()));
+  for (core::OpKey k : keys_) {  // std::set iterates sorted
+    const auto v = static_cast<std::uint16_t>(k);
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+bytes::Result<CapabilitySet> CapabilitySet::parse(std::span<const std::uint8_t> data) {
+  if (data.empty()) return bytes::Err(bytes::Error::kTruncated);
+  const std::size_t count = data[0];
+  if (data.size() < 1 + count * 2) return bytes::Err(bytes::Error::kTruncated);
+
+  CapabilitySet out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v =
+        static_cast<std::uint16_t>((data[1 + 2 * i] << 8) | data[2 + 2 * i]);
+    out.add(static_cast<core::OpKey>(v));
+  }
+  if (out.size() != count) return bytes::Err(bytes::Error::kMalformed);  // dupes
+  return out;
+}
+
+CapabilitySet full_capability_set() {
+  CapabilitySet out = table1_capability_set();
+  out.add(core::OpKey::kPass);
+  out.add(core::OpKey::kTelemetry);
+  return out;
+}
+
+CapabilitySet table1_capability_set() {
+  return CapabilitySet{
+      core::OpKey::kMatch32, core::OpKey::kMatch128, core::OpKey::kSource,
+      core::OpKey::kFib,     core::OpKey::kPit,      core::OpKey::kParm,
+      core::OpKey::kMac,     core::OpKey::kMark,     core::OpKey::kVer,
+      core::OpKey::kDag,     core::OpKey::kIntent,
+  };
+}
+
+}  // namespace dip::bootstrap

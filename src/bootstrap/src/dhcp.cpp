@@ -1,0 +1,58 @@
+#include "dip/bootstrap/dhcp.hpp"
+
+namespace dip::bootstrap {
+
+namespace {
+constexpr std::uint8_t kRequestTag = 0x01;
+constexpr std::uint8_t kOfferTag = 0x02;
+
+std::vector<std::uint8_t> frame(std::uint8_t tag, const CapabilitySet& set) {
+  std::vector<std::uint8_t> out{tag};
+  const auto body = set.serialize();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+bytes::Result<CapabilitySet> unframe(std::uint8_t tag,
+                                     std::span<const std::uint8_t> data) {
+  if (data.empty()) return bytes::Err(bytes::Error::kTruncated);
+  if (data[0] != tag) return bytes::Err(bytes::Error::kMalformed);
+  return CapabilitySet::parse(data.subspan(1));
+}
+}  // namespace
+
+std::vector<std::uint8_t> DiscoverRequest::serialize() const {
+  return frame(kRequestTag, interested);
+}
+
+bytes::Result<DiscoverRequest> DiscoverRequest::parse(
+    std::span<const std::uint8_t> data) {
+  auto set = unframe(kRequestTag, data);
+  if (!set) return bytes::Err(set.error());
+  return DiscoverRequest{std::move(*set)};
+}
+
+std::vector<std::uint8_t> DiscoverOffer::serialize() const {
+  return frame(kOfferTag, available);
+}
+
+bytes::Result<DiscoverOffer> DiscoverOffer::parse(std::span<const std::uint8_t> data) {
+  auto set = unframe(kOfferTag, data);
+  if (!set) return bytes::Err(set.error());
+  return DiscoverOffer{std::move(*set)};
+}
+
+DiscoverOffer BootstrapServer::respond(const DiscoverRequest& request) const {
+  if (request.interested.size() == 0) return DiscoverOffer{capabilities_};
+  return DiscoverOffer{capabilities_.intersect(request.interested)};
+}
+
+std::optional<core::OpKey> BootstrapClient::first_missing(
+    std::span<const core::FnTriple> fns) const {
+  for (const core::FnTriple& fn : fns) {
+    if (!offered_.supports(fn.key())) return fn.key();
+  }
+  return std::nullopt;
+}
+
+}  // namespace dip::bootstrap

@@ -1,0 +1,73 @@
+#include "dip/bootstrap/propagation.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dip::bootstrap {
+
+void AsGraph::add_as(AsNumber asn, CapabilitySet capabilities) {
+  nodes_[asn].capabilities = std::move(capabilities);
+}
+
+bool AsGraph::add_link(AsNumber a, AsNumber b) {
+  if (!nodes_.contains(a) || !nodes_.contains(b) || a == b) return false;
+  auto& na = nodes_[a].neighbors;
+  auto& nb = nodes_[b].neighbors;
+  if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
+  if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
+  return true;
+}
+
+const CapabilitySet* AsGraph::capabilities(AsNumber asn) const {
+  const auto it = nodes_.find(asn);
+  return it == nodes_.end() ? nullptr : &it->second.capabilities;
+}
+
+std::vector<AsNumber> AsGraph::shortest_path(AsNumber from, AsNumber to) const {
+  if (!nodes_.contains(from) || !nodes_.contains(to)) return {};
+  if (from == to) return {from};
+
+  std::unordered_map<AsNumber, AsNumber> parent;
+  std::deque<AsNumber> queue{from};
+  parent.emplace(from, from);
+
+  while (!queue.empty()) {
+    const AsNumber current = queue.front();
+    queue.pop_front();
+    for (AsNumber next : nodes_.at(current).neighbors) {
+      if (parent.contains(next)) continue;
+      parent.emplace(next, current);
+      if (next == to) {
+        std::vector<AsNumber> path{to};
+        for (AsNumber hop = to; hop != from;) {
+          hop = parent.at(hop);
+          path.push_back(hop);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::optional<CapabilitySet> AsGraph::path_capabilities(
+    std::span<const AsNumber> path) const {
+  if (path.empty()) return std::nullopt;
+  std::optional<CapabilitySet> result;
+  for (AsNumber asn : path) {
+    const CapabilitySet* caps = capabilities(asn);
+    if (caps == nullptr) return std::nullopt;
+    result = result ? result->intersect(*caps) : *caps;
+  }
+  return result;
+}
+
+std::optional<CapabilitySet> AsGraph::end_to_end(AsNumber from, AsNumber to) const {
+  const auto path = shortest_path(from, to);
+  if (path.empty()) return std::nullopt;
+  return path_capabilities(path);
+}
+
+}  // namespace dip::bootstrap

@@ -1,0 +1,63 @@
+// Bit-addressed field access over byte blocks.
+//
+// DIP FN triples address their target field by *bit* offset and *bit* length
+// within the FN-locations block (§2.2). Most compositions in the paper use
+// byte-aligned fields, so extract/inject keep a byte-aligned memcpy fast path
+// and fall back to a shifting slow path for arbitrary alignment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+
+namespace dip::bytes {
+
+/// A bit range [bit_offset, bit_offset + bit_length) within a byte block.
+struct BitRange {
+  std::uint32_t bit_offset = 0;
+  std::uint32_t bit_length = 0;
+
+  [[nodiscard]] constexpr std::uint32_t end_bit() const noexcept {
+    return bit_offset + bit_length;
+  }
+  [[nodiscard]] constexpr bool byte_aligned() const noexcept {
+    return (bit_offset % 8) == 0 && (bit_length % 8) == 0;
+  }
+  /// Number of bytes needed to hold the extracted field (MSB-first packing).
+  [[nodiscard]] constexpr std::size_t byte_length() const noexcept {
+    return (bit_length + 7) / 8;
+  }
+  friend constexpr bool operator==(const BitRange&, const BitRange&) = default;
+};
+
+/// True iff the range lies fully inside a block of block_size bytes.
+[[nodiscard]] constexpr bool fits(const BitRange& r, std::size_t block_size) noexcept {
+  return static_cast<std::size_t>(r.end_bit()) <= block_size * 8 && r.bit_length > 0;
+}
+
+/// Extract `range` from `block` into `out` (MSB-first; the field's first bit
+/// becomes the MSB of out[0]; a trailing partial byte is left-justified).
+/// `out` must be at least range.byte_length() bytes.
+[[nodiscard]] Status extract_bits(std::span<const std::uint8_t> block, const BitRange& range,
+                                  std::span<std::uint8_t> out) noexcept;
+
+/// Inject `field` (packed as produced by extract_bits) into `block` at `range`.
+/// Bits of `block` outside the range are preserved.
+[[nodiscard]] Status inject_bits(std::span<std::uint8_t> block, const BitRange& range,
+                                 std::span<const std::uint8_t> field) noexcept;
+
+/// Extract up to 64 bits as an integer (the field's last bit becomes bit 0).
+[[nodiscard]] Result<std::uint64_t> extract_uint(std::span<const std::uint8_t> block,
+                                                 const BitRange& range) noexcept;
+
+/// Inject the low range.bit_length bits of `value` into `block` at `range`.
+[[nodiscard]] Status inject_uint(std::span<std::uint8_t> block, const BitRange& range,
+                                 std::uint64_t value) noexcept;
+
+/// Convenience: extract into a freshly allocated vector.
+[[nodiscard]] Result<std::vector<std::uint8_t>> extract_bits_vec(
+    std::span<const std::uint8_t> block, const BitRange& range);
+
+}  // namespace dip::bytes

@@ -1,0 +1,115 @@
+// Lightweight expected<T, E> used across the DIP libraries.
+//
+// C++20 has no std::expected; this is a minimal, allocation-free stand-in
+// sufficient for parse/serialize paths. E must be a trivially copyable
+// enum-like type.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace dip::bytes {
+
+/// Generic error codes shared by the wire-format substrates.
+enum class Error {
+  kTruncated,        ///< input ended before a complete field
+  kOverflow,         ///< output buffer too small
+  kMalformed,        ///< structurally invalid input
+  kOutOfRange,       ///< offset/length outside the addressed block
+  kUnsupported,      ///< valid but not supported by this node
+  kChecksum,         ///< integrity check failed
+  kState,            ///< operation invalid in the current state
+};
+
+/// Human-readable name for an Error (for logs and test diagnostics).
+constexpr const char* to_string(Error e) noexcept {
+  switch (e) {
+    case Error::kTruncated: return "truncated";
+    case Error::kOverflow: return "overflow";
+    case Error::kMalformed: return "malformed";
+    case Error::kOutOfRange: return "out-of-range";
+    case Error::kUnsupported: return "unsupported";
+    case Error::kChecksum: return "checksum";
+    case Error::kState: return "state";
+  }
+  return "unknown";
+}
+
+/// Tag type for constructing an Expected holding an error.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Minimal expected: holds either a T or an E.
+template <typename T, typename E = Error>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> u) : storage_(std::in_place_index<1>, u.error) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] E error() const {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Expected<void>: success or an error code.
+template <typename E>
+class [[nodiscard]] Expected<void, E> {
+ public:
+  Expected() : ok_(true), error_{} {}
+  Expected(Unexpected<E> u) : ok_(false), error_(u.error) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  [[nodiscard]] E error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  bool ok_;
+  E error_;
+};
+
+template <typename T>
+using Result = Expected<T, Error>;
+using Status = Expected<void, Error>;
+
+/// Convenience: build an error result.
+inline Unexpected<Error> Err(Error e) { return Unexpected<Error>{e}; }
+
+}  // namespace dip::bytes

@@ -1,0 +1,23 @@
+// Hex encoding helpers for logs, tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+
+namespace dip::bytes {
+
+/// Lowercase hex string of a byte span ("deadbeef").
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parse a hex string (even length, [0-9a-fA-F]) into bytes.
+[[nodiscard]] Result<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+/// Multi-line hexdump with offsets, 16 bytes per line, for examples/debugging.
+[[nodiscard]] std::string hex_dump(std::span<const std::uint8_t> data);
+
+}  // namespace dip::bytes

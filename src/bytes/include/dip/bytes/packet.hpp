@@ -1,0 +1,113 @@
+// Packet buffer with headroom.
+//
+// A Packet owns a contiguous byte region with reserved headroom so that
+// border routers and tunnel endpoints (§2.4) can prepend or strip headers
+// without copying the payload. Layout:
+//
+//   [ headroom ........ | data ................. | tailroom ]
+//   ^ storage begin     ^ data_begin_            ^ data_end_
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+
+namespace dip::bytes {
+
+class Packet {
+ public:
+  static constexpr std::size_t kDefaultHeadroom = 128;
+
+  Packet() : Packet(0, kDefaultHeadroom) {}
+
+  /// A packet with `size` zero bytes of data and the given headroom.
+  explicit Packet(std::size_t size, std::size_t headroom = kDefaultHeadroom)
+      : storage_(headroom + size), data_begin_(headroom), data_end_(headroom + size) {}
+
+  /// A packet whose data is a copy of `content`.
+  explicit Packet(std::span<const std::uint8_t> content,
+                  std::size_t headroom = kDefaultHeadroom)
+      : storage_(headroom + content.size()),
+        data_begin_(headroom),
+        data_end_(headroom + content.size()) {
+    if (!content.empty()) {
+      std::memcpy(storage_.data() + data_begin_, content.data(), content.size());
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_end_ - data_begin_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::size_t headroom() const noexcept { return data_begin_; }
+
+  [[nodiscard]] std::span<std::uint8_t> data() noexcept {
+    return {storage_.data() + data_begin_, size()};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> data() const noexcept {
+    return {storage_.data() + data_begin_, size()};
+  }
+
+  /// Prepend n bytes (returned span is the new front region, zero-filled).
+  /// Reallocates only if headroom is insufficient.
+  std::span<std::uint8_t> push_front(std::size_t n) {
+    if (n > data_begin_) {
+      grow_headroom(n);
+    }
+    data_begin_ -= n;
+    std::memset(storage_.data() + data_begin_, 0, n);
+    return {storage_.data() + data_begin_, n};
+  }
+
+  /// Remove n bytes from the front.
+  [[nodiscard]] Status pop_front(std::size_t n) noexcept {
+    if (n > size()) return Unexpected{Error::kTruncated};
+    data_begin_ += n;
+    return {};
+  }
+
+  /// Append n zero bytes at the tail; returns the new tail region.
+  std::span<std::uint8_t> push_back(std::size_t n) {
+    if (data_end_ + n > storage_.size()) {
+      storage_.resize(data_end_ + n);
+    } else {
+      std::memset(storage_.data() + data_end_, 0, n);
+    }
+    data_end_ += n;
+    return {storage_.data() + data_end_ - n, n};
+  }
+
+  /// Remove n bytes from the tail.
+  [[nodiscard]] Status pop_back(std::size_t n) noexcept {
+    if (n > size()) return Unexpected{Error::kTruncated};
+    data_end_ -= n;
+    return {};
+  }
+
+  /// Deep copy (headroom preserved).
+  [[nodiscard]] Packet clone() const { return *this; }
+
+  friend bool operator==(const Packet& a, const Packet& b) {
+    const auto da = a.data();
+    const auto db = b.data();
+    return da.size() == db.size() &&
+           (da.empty() || std::memcmp(da.data(), db.data(), da.size()) == 0);
+  }
+
+ private:
+  void grow_headroom(std::size_t need) {
+    const std::size_t extra = need - data_begin_ + kDefaultHeadroom;
+    std::vector<std::uint8_t> fresh(storage_.size() + extra);
+    std::memcpy(fresh.data() + data_begin_ + extra, storage_.data() + data_begin_, size());
+    storage_ = std::move(fresh);
+    data_begin_ += extra;
+    data_end_ += extra;
+  }
+
+  std::vector<std::uint8_t> storage_;
+  std::size_t data_begin_;
+  std::size_t data_end_;
+};
+
+}  // namespace dip::bytes

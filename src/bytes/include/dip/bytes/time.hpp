@@ -1,0 +1,22 @@
+// Simulated-time conventions shared by the PIT, netsim, and telemetry.
+//
+// All simulated clocks are unsigned nanoseconds from an arbitrary epoch.
+// Wall-clock time never appears in protocol logic — the simulator is
+// deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace dip {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+}  // namespace dip

@@ -1,0 +1,71 @@
+#include "dip/bytes/hex.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace dip::bytes {
+
+namespace {
+constexpr std::array<char, 16> kDigits = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                          '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+
+int nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return Err(Error::kMalformed);
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Err(Error::kMalformed);
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  std::string out;
+  for (std::size_t line = 0; line < data.size(); line += 16) {
+    // Offset column.
+    char off[24];
+    std::snprintf(off, sizeof(off), "%06zx  ", line);
+    out += off;
+    const std::size_t n = std::min<std::size_t>(16, data.size() - line);
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (i < n) {
+        out.push_back(kDigits[data[line + i] >> 4]);
+        out.push_back(kDigits[data[line + i] & 0xF]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out += " |";
+    for (std::size_t i = 0; i < n; ++i) {
+      const char c = static_cast<char>(data[line + i]);
+      out.push_back(std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace dip::bytes

@@ -1,0 +1,88 @@
+// RouterEnv — the per-node state that operation modules act on.
+//
+// Algorithm 1 dispatches FNs to operation modules; the modules themselves
+// are (mostly) stateless and read/write the node state collected here:
+// forwarding tables, PIT, content store, and the node's cryptographic
+// secrets. One RouterEnv == one DIP-capable node's data plane state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "dip/bytes/time.hpp"
+#include "dip/crypto/aes.hpp"
+#include "dip/crypto/mac.hpp"
+#include "dip/fib/lpm.hpp"
+#include "dip/fib/xid_table.hpp"
+#include "dip/pit/content_store.hpp"
+#include "dip/pit/pit.hpp"
+#include "dip/core/fn.hpp"
+
+namespace dip::core {
+
+/// §2.4 security: hard limits on per-packet work and per-packet state.
+struct ResourceLimits {
+  std::uint32_t per_packet_budget = 64;  ///< abstract cost units per packet
+  std::uint32_t max_fn_per_packet = 16;  ///< must not exceed HeaderView::kMaxFns
+};
+
+struct RouterEnv {
+  // ---- identity -------------------------------------------------------
+  std::uint32_t node_id = 0;
+
+  // ---- forwarding state -------------------------------------------------
+  std::unique_ptr<fib::Ipv4Lpm> fib32;    ///< used by F_32_match and F_FIB
+  std::unique_ptr<fib::Ipv6Lpm> fib128;   ///< used by F_128_match
+  pit::Pit pit;                           ///< used by F_PIT
+  std::unique_ptr<fib::XidTable> xid_table;  ///< used by F_DAG / F_intent (XIA)
+  std::optional<pit::ContentStore> content_store;  ///< footnote-2 extension
+  /// Fallback egress when no match FN decided (models the paper's one-hop
+  /// port-wired eval topology); kNoRoute-like nullopt means "drop".
+  std::optional<FaceId> default_egress;
+
+  // ---- crypto state (OPT) ----------------------------------------------
+  crypto::Block node_secret{};            ///< local secret for DRKey derivation
+  crypto::MacKind mac_kind = crypto::MacKind::kEm2;
+  /// AS-wide key for F_pass source-label verification (§2.4 security). The
+  /// edge AS issues labels with it; every AS router can check them.
+  crypto::Block pass_key{};
+  /// F_pass enforcement toggle — operators "dynamically adjust security
+  /// policies based on network conditions" (§2.4): when false, F_pass FNs
+  /// are accepted without the (expensive) check.
+  bool enforce_pass = false;
+
+  // ---- deployment configuration (§2.4) ----------------------------------
+  /// FN keys this node refuses even if a module is linked in (heterogeneous
+  /// AS configuration). Empty = support everything registered.
+  std::set<OpKey> disabled_keys;
+
+  // ---- security ----------------------------------------------------------
+  ResourceLimits limits;
+
+  // ---- bookkeeping ---------------------------------------------------------
+  struct Counters {
+    std::uint64_t processed = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t fn_executed = 0;
+    std::uint64_t fn_skipped_host = 0;
+    std::uint64_t fn_skipped_optional = 0;
+    /// Executions per operation key (indexed by the low key bits).
+    std::array<std::uint64_t, 32> fn_by_key{};
+  } counters;
+
+  [[nodiscard]] std::uint64_t executions_of(OpKey key) const {
+    return counters.fn_by_key[static_cast<std::size_t>(key) %
+                              counters.fn_by_key.size()];
+  }
+
+  [[nodiscard]] bool supports(OpKey key) const {
+    return !disabled_keys.contains(key);
+  }
+};
+
+}  // namespace dip::core

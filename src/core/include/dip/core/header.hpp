@@ -1,0 +1,113 @@
+// DIP packet header codec (§2.2, Figure 1).
+//
+// Layout on the wire:
+//
+//   +--------------------------- basic header (6 B) ---------------------+
+//   | next_header:8 | fn_num:8 | hop_limit:8 | packet_param:16 | check:8 |
+//   +---------------------------------------------------------------------
+//   | fn_num x FnTriple (6 B each)                                        |
+//   +---------------------------------------------------------------------
+//   | FN locations block (packet_param.loc_len bytes)                     |
+//   +---------------------------------------------------------------------
+//   | payload ...                                                         |
+//
+// packet_param bits (16, msb..lsb): reserved:5 | loc_len:10 | parallel:1.
+// The paper: "The lowest bit indicates whether the operation modules can be
+// executed in parallel... the higher ten bits represent the length of FN
+// locations and the remaining five bits are reserved."
+//
+// Header length is derived, never carried: 6 + 6*fn_num + loc_len (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dip/bytes/cursor.hpp"
+#include "dip/bytes/expected.hpp"
+#include "dip/core/fn.hpp"
+
+namespace dip::core {
+
+/// Values for the basic header's next_header field.
+enum class NextHeader : std::uint8_t {
+  kNone = 59,  ///< no payload (mirrors IPv6 No Next Header)
+  kUdp = 17,
+  kTcp = 6,
+  kDipError = 254,  ///< FN-unsupported notification payload (§2.4)
+};
+
+/// Parsed basic header fields.
+struct BasicHeader {
+  static constexpr std::size_t kWireSize = 6;
+  static constexpr std::size_t kMaxLocLen = (1u << 10) - 1;  // 10-bit length
+
+  std::uint8_t next_header = static_cast<std::uint8_t>(NextHeader::kNone);
+  std::uint8_t fn_num = 0;
+  std::uint8_t hop_limit = 64;
+  bool parallel = false;        ///< modular-parallelism flag
+  std::uint16_t loc_len = 0;    ///< FN locations length in bytes
+  // reserved:5 always zero; checksum byte is computed, not stored here.
+};
+
+/// A fully parsed, owning DIP header (host side / tests).
+struct DipHeader {
+  BasicHeader basic;
+  std::vector<FnTriple> fns;
+  std::vector<std::uint8_t> locations;
+
+  /// Total serialized size: 6 + 6*fn_num + loc_len.
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return BasicHeader::kWireSize + fns.size() * FnTriple::kWireSize + locations.size();
+  }
+
+  /// Serialize into `out` (must be >= wire_size()). Fixes up fn_num/loc_len
+  /// from the actual vectors.
+  [[nodiscard]] bytes::Status serialize(std::span<std::uint8_t> out) const;
+
+  /// Serialize into a fresh vector.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse from the front of `data` (copies triples and locations).
+  [[nodiscard]] static bytes::Result<DipHeader> parse(std::span<const std::uint8_t> data);
+};
+
+/// Zero-copy view of a DIP header inside a mutable packet buffer.
+///
+// The router's fast path: triples are decoded into a small fixed array and
+// `locations` aliases the packet bytes so operation modules mutate fields
+// in place (F_MAC/F_mark tag updates never copy the block).
+class HeaderView {
+ public:
+  static constexpr std::size_t kMaxFns = 16;  ///< per-packet FN limit (§2.4)
+
+  /// Bind a view to `packet` (the full DIP packet bytes). Validates
+  /// structure and checksum.
+  [[nodiscard]] static bytes::Result<HeaderView> bind(std::span<std::uint8_t> packet);
+
+  [[nodiscard]] const BasicHeader& basic() const noexcept { return basic_; }
+  [[nodiscard]] std::span<const FnTriple> fns() const noexcept {
+    return {fns_.data(), fn_count_};
+  }
+  [[nodiscard]] std::span<std::uint8_t> locations() const noexcept { return locations_; }
+  [[nodiscard]] std::span<std::uint8_t> payload() const noexcept { return payload_; }
+  [[nodiscard]] std::size_t header_size() const noexcept {
+    return BasicHeader::kWireSize + fn_count_ * FnTriple::kWireSize + locations_.size();
+  }
+
+  /// Decrement hop limit in place; false if it hit zero (drop).
+  [[nodiscard]] bool decrement_hop_limit() noexcept;
+
+ private:
+  BasicHeader basic_;
+  std::array<FnTriple, kMaxFns> fns_{};
+  std::size_t fn_count_ = 0;
+  std::span<std::uint8_t> raw_;        // whole packet
+  std::span<std::uint8_t> locations_;  // aliases raw_
+  std::span<std::uint8_t> payload_;    // aliases raw_
+};
+
+/// XOR checksum over the first five basic-header bytes.
+[[nodiscard]] std::uint8_t basic_header_checksum(std::span<const std::uint8_t> first5) noexcept;
+
+}  // namespace dip::core

@@ -1,0 +1,62 @@
+// IP forwarding realized with DIP (§3 "IP Forwarding").
+//
+// "We set the destination address in the lower 128/32 bits of the FN
+// locations and the source address in the upper 128/32 bits, so the FN
+// triples are (loc:0, len:32, F_32_match) + (loc:32, len:32, F_source) for
+// DIP-32 and (loc:0, len:128, F_128_match) + (loc:128, len:128, F_source)
+// for DIP-128."
+//
+// (The paper's running text swaps keys 1/2 relative to its own Table 1; we
+// follow Table 1: key 1 = 32-bit match, key 2 = 128-bit match.)
+#pragma once
+
+#include <memory>
+
+#include "dip/core/builder.hpp"
+#include "dip/core/op_module.hpp"
+#include "dip/fib/address.hpp"
+
+namespace dip::core {
+
+/// F_32_match (key 1): LPM the 32-bit target field in fib32, set egress.
+class Match32Op final : public OpModule {
+ public:
+  [[nodiscard]] OpKey key() const noexcept override { return OpKey::kMatch32; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 2; }
+  [[nodiscard]] bytes::Status execute(OpContext& ctx) override;
+};
+
+/// F_128_match (key 2): LPM the 128-bit target field in fib128, set egress.
+class Match128Op final : public OpModule {
+ public:
+  [[nodiscard]] OpKey key() const noexcept override { return OpKey::kMatch128; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 3; }
+  [[nodiscard]] bytes::Status execute(OpContext& ctx) override;
+};
+
+/// F_source (key 3): declares where the source address lives. Routers do not
+/// act on it; it exists so other mechanisms (error notifications, F_pass)
+/// can locate the source field.
+class SourceOp final : public OpModule {
+ public:
+  [[nodiscard]] OpKey key() const noexcept override { return OpKey::kSource; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 1; }
+  [[nodiscard]] bytes::Status execute(OpContext&) override { return {}; }
+};
+
+/// Compose a DIP-32 (IPv4-over-DIP) header. Total wire size: 26 bytes.
+[[nodiscard]] bytes::Result<DipHeader> make_dip32_header(
+    const fib::Ipv4Addr& dst, const fib::Ipv4Addr& src,
+    NextHeader next = NextHeader::kNone, std::uint8_t hop_limit = 64);
+
+/// Compose a DIP-128 (IPv6-over-DIP) header. Total wire size: 50 bytes.
+[[nodiscard]] bytes::Result<DipHeader> make_dip128_header(
+    const fib::Ipv6Addr& dst, const fib::Ipv6Addr& src,
+    NextHeader next = NextHeader::kNone, std::uint8_t hop_limit = 64);
+
+/// Locate the source-address field of a parsed DIP header (the first
+/// F_source triple), if present.
+[[nodiscard]] std::optional<bytes::BitRange> find_source_field(
+    std::span<const FnTriple> fns) noexcept;
+
+}  // namespace dip::core

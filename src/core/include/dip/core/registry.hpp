@@ -1,0 +1,48 @@
+// Operation-module registry.
+//
+// The paper's prototype "pre-writes the required operation modules on the
+// data plane and uses the operation key to match these operation modules"
+// (§4.1). The registry is that key→module match table. A node's supported
+// FN set = registered modules minus env.disabled_keys.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dip/core/op_module.hpp"
+
+namespace dip::core {
+
+class OpRegistry {
+ public:
+  /// Install a module; replaces any module with the same key. This is the
+  /// §5 runtime-upgrade path: "the network providers can now support new
+  /// services by only upgrading FNs, instead of replacing the underlying
+  /// hardware" — deployments add/replace modules while traffic flows.
+  void add(std::unique_ptr<OpModule> module);
+
+  /// Uninstall the module for `key`; returns it (nullptr if absent) so a
+  /// rollback can reinstate it.
+  std::unique_ptr<OpModule> remove(OpKey key);
+
+  /// Monotonic change counter: bumped by every add/remove. Bootstrap
+  /// re-advertises capabilities when it observes a new epoch.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// nullptr if no module implements `key`.
+  [[nodiscard]] OpModule* find(OpKey key) const noexcept;
+
+  [[nodiscard]] bool contains(OpKey key) const noexcept { return find(key) != nullptr; }
+
+  /// Keys of every registered module (bootstrap advertises these, §2.3).
+  [[nodiscard]] std::vector<OpKey> keys() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return modules_.size(); }
+
+ private:
+  std::unordered_map<std::uint16_t, std::unique_ptr<OpModule>> modules_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dip::core

@@ -1,0 +1,66 @@
+// The Algorithm-1 router engine.
+//
+// Faithful to the paper's pseudocode:
+//   1. parse basic DIP header (FN_Num, FN_LocLen)
+//   2. parse FN[] according to FN_Num
+//   3. extract FN_Loc according to FN_LocLen
+//   4. for each FN: skip host-tagged; otherwise slice the target field and
+//      dispatch on the operation key
+//
+// Two dispatch strategies are provided (ablation A1):
+//   * kLoop      — the natural for-loop over FN[] (what the paper wanted);
+//   * kUnrolled  — a fixed if-else ladder on FN_Num mirroring the Tofino
+//                  compromise of §4.1 ("the simple if-else statement with
+//                  FN_Num to determine how many field operations to perform").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dip/bytes/time.hpp"
+#include "dip/core/env.hpp"
+#include "dip/core/header.hpp"
+#include "dip/core/registry.hpp"
+#include "dip/core/verdict.hpp"
+
+namespace dip::core {
+
+enum class DispatchStrategy : std::uint8_t { kLoop, kUnrolled };
+
+class Router {
+ public:
+  Router(RouterEnv env, const OpRegistry* registry,
+         DispatchStrategy strategy = DispatchStrategy::kLoop)
+      : env_(std::move(env)), registry_(registry), strategy_(strategy) {}
+
+  /// Process one DIP packet in place (tag fields may be rewritten).
+  /// `packet` is the full DIP packet: header + payload.
+  [[nodiscard]] ProcessResult process(std::span<std::uint8_t> packet, FaceId ingress,
+                                      SimTime now);
+
+  [[nodiscard]] RouterEnv& env() noexcept { return env_; }
+  [[nodiscard]] const RouterEnv& env() const noexcept { return env_; }
+  [[nodiscard]] DispatchStrategy strategy() const noexcept { return strategy_; }
+  void set_strategy(DispatchStrategy s) noexcept { strategy_ = s; }
+
+ private:
+  struct FnRunState {
+    std::uint32_t budget = 0;
+    OpScratch scratch;
+  };
+
+  /// Run one FN; returns false when processing must stop (drop/error).
+  bool run_fn(const FnTriple& fn, HeaderView& view, FaceId ingress, SimTime now,
+              FnRunState& state, ProcessResult& result);
+
+  void dispatch_loop(HeaderView& view, FaceId ingress, SimTime now,
+                     ProcessResult& result);
+  void dispatch_unrolled(HeaderView& view, FaceId ingress, SimTime now,
+                         ProcessResult& result);
+
+  RouterEnv env_;
+  const OpRegistry* registry_;
+  DispatchStrategy strategy_;
+};
+
+}  // namespace dip::core

@@ -1,0 +1,65 @@
+// Per-packet processing outcome ("determine the packet fate", §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dip/core/fn.hpp"
+
+namespace dip::core {
+
+enum class Action : std::uint8_t {
+  kForward,  ///< send out the egress face(s)
+  kDrop,     ///< discard silently
+  kError,    ///< discard and notify the source (FN-unsupported, §2.4)
+};
+
+enum class DropReason : std::uint8_t {
+  kNone,
+  kNoRoute,          ///< no match FN produced an egress
+  kPitMiss,          ///< data packet with no pending interest (§3 NDN)
+  kHopLimitExceeded,
+  kAuthFailed,       ///< OPT tag verification failed
+  kBudgetExhausted,  ///< §2.4 per-packet processing limit
+  kUnsupportedFn,    ///< path-critical FN not supported by this node
+  kMalformed,
+  kDuplicate,        ///< looping interest (PIT duplicate)
+  kPolicyDenied,     ///< F_pass rejected the source label
+  kAggregated,       ///< interest suppressed; an upstream request is pending
+  kRateExceeded,     ///< F_dps fair-share policing dropped the packet
+};
+
+[[nodiscard]] std::string_view to_string(DropReason r) noexcept;
+
+/// The router's decision for one packet.
+struct ProcessResult {
+  Action action = Action::kForward;
+  DropReason reason = DropReason::kNone;
+  /// Egress faces; >1 means replicate (NDN data fan-out to all requesters).
+  std::vector<FaceId> egress;
+  /// For kError: which FN could not be honored.
+  OpKey offending_key{};
+  /// Set by F_FIB on a content-store hit (footnote 2): the node can answer
+  /// the interest itself; egress points back at the requester.
+  bool respond_from_cache = false;
+
+  [[nodiscard]] bool forwarded() const noexcept {
+    return action == Action::kForward && !egress.empty();
+  }
+
+  void drop(DropReason r) noexcept {
+    action = Action::kDrop;
+    reason = r;
+    egress.clear();
+  }
+
+  void fail_unsupported(OpKey key) noexcept {
+    action = Action::kError;
+    reason = DropReason::kUnsupportedFn;
+    offending_key = key;
+    egress.clear();
+  }
+};
+
+}  // namespace dip::core

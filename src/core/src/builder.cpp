@@ -1,0 +1,23 @@
+#include "dip/core/builder.hpp"
+
+namespace dip::core {
+
+bytes::Result<DipHeader> HeaderBuilder::build() const {
+  if (header_.fns.size() > HeaderView::kMaxFns) {
+    return bytes::Err(bytes::Error::kOverflow);
+  }
+  if (header_.locations.size() > BasicHeader::kMaxLocLen) {
+    return bytes::Err(bytes::Error::kOverflow);
+  }
+  for (const FnTriple& fn : header_.fns) {
+    if (!bytes::fits(fn.range(), header_.locations.size())) {
+      return bytes::Err(bytes::Error::kOutOfRange);
+    }
+  }
+  DipHeader out = header_;
+  out.basic.fn_num = static_cast<std::uint8_t>(out.fns.size());
+  out.basic.loc_len = static_cast<std::uint16_t>(out.locations.size());
+  return out;
+}
+
+}  // namespace dip::core

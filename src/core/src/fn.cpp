@@ -1,0 +1,47 @@
+#include "dip/core/fn.hpp"
+
+namespace dip::core {
+
+namespace {
+
+// Table 1 of the paper plus the §2.4/§5 extension FNs. `requires_full_path`
+// follows the §2.4 rule: FNs that need every on-path AS to participate (the
+// path-authentication chain) trigger an FN-unsupported notification when a
+// node cannot honor them; the rest may simply be ignored.
+constexpr FnInfo kFnTable[] = {
+    {OpKey::kMatch32, "F_32_match", false, 2},
+    {OpKey::kMatch128, "F_128_match", false, 3},
+    {OpKey::kSource, "F_source", false, 1},
+    {OpKey::kFib, "F_FIB", false, 2},
+    {OpKey::kPit, "F_PIT", false, 2},
+    {OpKey::kParm, "F_parm", true, 2},
+    {OpKey::kMac, "F_MAC", true, 8},
+    {OpKey::kMark, "F_mark", true, 2},
+    {OpKey::kVer, "F_ver", true, 10},
+    {OpKey::kDag, "F_DAG", false, 4},
+    {OpKey::kIntent, "F_intent", false, 2},
+    {OpKey::kPass, "F_pass", false, 6},
+    {OpKey::kTelemetry, "F_int", false, 2},
+    {OpKey::kCc, "F_cc", false, 4},
+    {OpKey::kDps, "F_dps", false, 3},
+    // Per-hop verification needs every on-path node, like the OPT chain.
+    {OpKey::kHvf, "F_hvf", true, 6},
+};
+
+}  // namespace
+
+std::string_view op_key_name(OpKey key) noexcept {
+  for (const FnInfo& info : kFnTable) {
+    if (info.key == key) return info.notation;
+  }
+  return "F_?";
+}
+
+std::optional<FnInfo> fn_info(OpKey key) noexcept {
+  for (const FnInfo& info : kFnTable) {
+    if (info.key == key) return info;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dip::core

@@ -1,0 +1,32 @@
+#include "dip/core/registry.hpp"
+
+namespace dip::core {
+
+void OpRegistry::add(std::unique_ptr<OpModule> module) {
+  const auto key = static_cast<std::uint16_t>(module->key());
+  modules_[key] = std::move(module);
+  ++epoch_;
+}
+
+std::unique_ptr<OpModule> OpRegistry::remove(OpKey key) {
+  const auto it = modules_.find(static_cast<std::uint16_t>(key));
+  if (it == modules_.end()) return nullptr;
+  std::unique_ptr<OpModule> out = std::move(it->second);
+  modules_.erase(it);
+  ++epoch_;
+  return out;
+}
+
+OpModule* OpRegistry::find(OpKey key) const noexcept {
+  const auto it = modules_.find(static_cast<std::uint16_t>(key));
+  return it == modules_.end() ? nullptr : it->second.get();
+}
+
+std::vector<OpKey> OpRegistry::keys() const {
+  std::vector<OpKey> out;
+  out.reserve(modules_.size());
+  for (const auto& [key, module] : modules_) out.push_back(static_cast<OpKey>(key));
+  return out;
+}
+
+}  // namespace dip::core

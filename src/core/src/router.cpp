@@ -1,0 +1,143 @@
+#include "dip/core/router.hpp"
+
+namespace dip::core {
+
+ProcessResult Router::process(std::span<std::uint8_t> packet, FaceId ingress,
+                              SimTime now) {
+  ++env_.counters.processed;
+  ProcessResult result;
+
+  auto view = HeaderView::bind(packet);
+  if (!view) {
+    result.drop(DropReason::kMalformed);
+    ++env_.counters.dropped;
+    return result;
+  }
+  if (view->fns().size() > env_.limits.max_fn_per_packet) {
+    result.drop(DropReason::kBudgetExhausted);
+    ++env_.counters.dropped;
+    return result;
+  }
+  if (!view->decrement_hop_limit()) {
+    result.drop(DropReason::kHopLimitExceeded);
+    ++env_.counters.dropped;
+    return result;
+  }
+
+  if (strategy_ == DispatchStrategy::kLoop) {
+    dispatch_loop(*view, ingress, now, result);
+  } else {
+    dispatch_unrolled(*view, ingress, now, result);
+  }
+
+  // No match FN decided an egress: fall back to the wired default port
+  // (the paper's one-hop eval setup), else drop.
+  if (result.action == Action::kForward && result.egress.empty()) {
+    if (env_.default_egress) {
+      result.egress.push_back(*env_.default_egress);
+    } else {
+      result.drop(DropReason::kNoRoute);
+    }
+  }
+
+  switch (result.action) {
+    case Action::kForward: ++env_.counters.forwarded; break;
+    case Action::kDrop: ++env_.counters.dropped; break;
+    case Action::kError: ++env_.counters.errors; break;
+  }
+  return result;
+}
+
+bool Router::run_fn(const FnTriple& fn, HeaderView& view, FaceId ingress, SimTime now,
+                    FnRunState& state, ProcessResult& result) {
+  // Algorithm 1, line 5: host-tagged operations are skipped by routers.
+  if (fn.host_tagged()) {
+    ++env_.counters.fn_skipped_host;
+    return true;
+  }
+
+  OpModule* module = registry_ ? registry_->find(fn.key()) : nullptr;
+  if (module == nullptr || !env_.supports(fn.key())) {
+    // §2.4 heterogeneous configuration: a path-critical FN that this node
+    // cannot honor triggers an ICMP-like notification; others are skipped.
+    const auto info = fn_info(fn.key());
+    if (info && info->requires_full_path) {
+      result.fail_unsupported(fn.key());
+      return false;
+    }
+    ++env_.counters.fn_skipped_optional;
+    return true;
+  }
+
+  const std::uint32_t cost = module->cost();
+  if (cost > state.budget) {
+    // §2.4: hard per-packet processing limit.
+    result.drop(DropReason::kBudgetExhausted);
+    return false;
+  }
+  state.budget -= cost;
+
+  OpContext ctx;
+  ctx.locations = view.locations();
+  ctx.field = fn.range();
+  ctx.fn = fn;
+  ctx.payload = view.payload();
+  ctx.ingress = ingress;
+  ctx.now = now;
+  ctx.env = &env_;
+  ctx.result = &result;
+  ctx.scratch = &state.scratch;
+
+  ++env_.counters.fn_executed;
+  ++env_.counters.fn_by_key[static_cast<std::size_t>(fn.key()) %
+                            env_.counters.fn_by_key.size()];
+  if (const auto st = module->execute(ctx); !st) {
+    result.drop(DropReason::kMalformed);
+    return false;
+  }
+  return result.action == Action::kForward;
+}
+
+void Router::dispatch_loop(HeaderView& view, FaceId ingress, SimTime now,
+                           ProcessResult& result) {
+  FnRunState state{env_.limits.per_packet_budget, {}};
+  for (const FnTriple& fn : view.fns()) {
+    if (!run_fn(fn, view, ingress, now, state, result)) return;
+  }
+}
+
+void Router::dispatch_unrolled(HeaderView& view, FaceId ingress, SimTime now,
+                               ProcessResult& result) {
+  // Mirrors the Tofino compromise: a fixed ladder testing FN_Num, with the
+  // per-position FN handling fully written out (no data-dependent loop).
+  // Functionally identical to dispatch_loop for fn_num <= kMaxFns.
+  FnRunState state{env_.limits.per_packet_budget, {}};
+  const auto fns = view.fns();
+  const std::size_t n = fns.size();
+
+#define DIP_STAGE(i)                                                            \
+  do {                                                                          \
+    if (n <= (i)) return;                                                       \
+    if (!run_fn(fns[(i)], view, ingress, now, state, result)) return;           \
+  } while (0)
+
+  DIP_STAGE(0);
+  DIP_STAGE(1);
+  DIP_STAGE(2);
+  DIP_STAGE(3);
+  DIP_STAGE(4);
+  DIP_STAGE(5);
+  DIP_STAGE(6);
+  DIP_STAGE(7);
+  DIP_STAGE(8);
+  DIP_STAGE(9);
+  DIP_STAGE(10);
+  DIP_STAGE(11);
+  DIP_STAGE(12);
+  DIP_STAGE(13);
+  DIP_STAGE(14);
+  DIP_STAGE(15);
+#undef DIP_STAGE
+}
+
+}  // namespace dip::core

@@ -1,0 +1,23 @@
+#include "dip/core/verdict.hpp"
+
+namespace dip::core {
+
+std::string_view to_string(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kNoRoute: return "no-route";
+    case DropReason::kPitMiss: return "pit-miss";
+    case DropReason::kHopLimitExceeded: return "hop-limit-exceeded";
+    case DropReason::kAuthFailed: return "auth-failed";
+    case DropReason::kBudgetExhausted: return "budget-exhausted";
+    case DropReason::kUnsupportedFn: return "unsupported-fn";
+    case DropReason::kMalformed: return "malformed";
+    case DropReason::kDuplicate: return "duplicate";
+    case DropReason::kPolicyDenied: return "policy-denied";
+    case DropReason::kAggregated: return "aggregated";
+    case DropReason::kRateExceeded: return "rate-exceeded";
+  }
+  return "unknown";
+}
+
+}  // namespace dip::core

@@ -1,0 +1,64 @@
+// AES-128 block cipher (FIPS-197), portable table-free implementation.
+//
+// Used three ways in this repo:
+//  * as the public permutation inside the 2EM Even–Mansour construction the
+//    paper uses for F_MAC (§4.1, [2]);
+//  * as the PRF for DRKey-style per-router key derivation in OPT;
+//  * as the block cipher under AES-CMAC, the ablation baseline the paper
+//    rejected for Tofino (it would need packet resubmission).
+//
+// This is a straightforward byte-oriented implementation: constant code size,
+// no large T-tables, adequate for a software prototype. It is NOT hardened
+// against cache-timing side channels; do not reuse outside the simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dip::crypto {
+
+/// 128-bit block used throughout the crypto substrate.
+using Block = std::array<std::uint8_t, 16>;
+
+/// AES-128: 10 rounds, 16-byte key, 16-byte block.
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  explicit Aes128(const Block& key) noexcept { expand_key(key); }
+
+  /// Encrypt one block in place.
+  void encrypt(Block& block) const noexcept;
+
+  /// Decrypt one block in place.
+  void decrypt(Block& block) const noexcept;
+
+  /// Convenience: encrypt a copy.
+  [[nodiscard]] Block encrypt_copy(Block block) const noexcept {
+    encrypt(block);
+    return block;
+  }
+
+ private:
+  void expand_key(const Block& key) noexcept;
+
+  // Round keys: (kRounds + 1) * 16 bytes.
+  std::array<std::uint8_t, (kRounds + 1) * kBlockSize> round_keys_{};
+};
+
+/// XOR two blocks: a ^= b.
+inline void block_xor(Block& a, const Block& b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+/// Constant-time block comparison (for tag verification).
+[[nodiscard]] bool block_equal_ct(const Block& a, const Block& b) noexcept;
+
+/// Load/store helpers between spans and Blocks.
+[[nodiscard]] Block block_from(std::span<const std::uint8_t> data) noexcept;
+void block_to(const Block& b, std::span<std::uint8_t> out) noexcept;
+
+}  // namespace dip::crypto

@@ -1,0 +1,43 @@
+// DRKey-style per-session key derivation for OPT.
+//
+// OPT (§3) has each on-path router derive a *dynamic key* from the packet's
+// session ID and the router's local secret; the same key is shared with the
+// source host during session setup (paper footnote 3). We reproduce the
+// data-plane derivation:
+//
+//   K_i = PRF_{K_router_i}(session_id)        (router side, per packet)
+//
+// and the control-plane collection the host performs during key negotiation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dip/crypto/aes.hpp"
+
+namespace dip::crypto {
+
+/// A 128-bit session identifier (the OPT flow tag).
+using SessionId = Block;
+
+/// Router-local secret with PRF-based session-key derivation.
+class DrKey {
+ public:
+  explicit DrKey(const Block& node_secret) noexcept : prf_(node_secret) {}
+
+  /// Dynamic key for one session: K = AES_{secret}(session_id).
+  [[nodiscard]] Block derive(const SessionId& session) const noexcept {
+    return prf_.encrypt_copy(session);
+  }
+
+ private:
+  Aes128 prf_;
+};
+
+/// Derive the session keys of an ordered router path, as the OPT key
+/// negotiation would hand them to the source host.
+[[nodiscard]] std::vector<Block> derive_path_keys(std::span<const Block> node_secrets,
+                                                  const SessionId& session);
+
+}  // namespace dip::crypto

@@ -1,0 +1,50 @@
+// 2EM: two-round key-alternating (iterated Even–Mansour) cipher.
+//
+// The paper's prototype computes F_MAC with 2EM [Bogdanov et al., EUROCRYPT
+// 2012] instead of AES because on Tofino 2EM completes without resubmitting
+// the packet (§4.1). Construction:
+//
+//   E_k(x) = k2 ^ P2( k1 ^ P1( k0 ^ x ) )
+//
+// with P1, P2 fixed *public* permutations. We instantiate P1/P2 as AES-128
+// under two distinct fixed all-public constants — a standard way to get
+// independent public permutations out of one primitive. The three whitening
+// keys k0,k1,k2 are derived from a single 128-bit master key via AES as PRF.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dip/crypto/aes.hpp"
+
+namespace dip::crypto {
+
+class EvenMansour2 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Derive whitening keys from a 128-bit master key.
+  explicit EvenMansour2(const Block& master_key) noexcept;
+
+  /// Encrypt one block in place.
+  void encrypt(Block& block) const noexcept;
+
+  /// Decrypt one block in place (P1/P2 inverted via AES decryption).
+  void decrypt(Block& block) const noexcept;
+
+  [[nodiscard]] Block encrypt_copy(Block b) const noexcept {
+    encrypt(b);
+    return b;
+  }
+
+ private:
+  // Public permutations shared by every instance (fixed public constants).
+  static const Aes128& perm1() noexcept;
+  static const Aes128& perm2() noexcept;
+
+  Block k0_{};
+  Block k1_{};
+  Block k2_{};
+};
+
+}  // namespace dip::crypto

@@ -1,0 +1,108 @@
+// Message authentication codes over variable-length data.
+//
+// Two interchangeable MACs back F_MAC (Table 1, key 7):
+//  * Em2Mac  — CMAC-style chaining over the 2EM cipher (the paper's choice,
+//              hardware-friendly on Tofino);
+//  * AesCmac — RFC 4493 AES-CMAC (the alternative the paper rejected because
+//              it needs packet resubmission on Tofino; our software ablation
+//              baseline, bench A2).
+//
+// Both produce 128-bit tags and share the Mac interface so OPT can be
+// parameterized over the primitive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "dip/crypto/aes.hpp"
+#include "dip/crypto/even_mansour.hpp"
+
+namespace dip::crypto {
+
+/// Abstract 128-bit-tag MAC.
+class Mac {
+ public:
+  virtual ~Mac() = default;
+
+  /// Compute the tag over `data`.
+  [[nodiscard]] virtual Block compute(std::span<const std::uint8_t> data) const = 0;
+
+  /// Constant-time verification.
+  [[nodiscard]] bool verify(std::span<const std::uint8_t> data, const Block& tag) const {
+    return block_equal_ct(compute(data), tag);
+  }
+};
+
+namespace detail {
+
+/// Doubling in GF(2^128) with the CMAC polynomial (x^128 + x^7 + x^2 + x + 1).
+[[nodiscard]] Block gf128_double(const Block& in) noexcept;
+
+/// Generic CMAC over any 16-byte block cipher E (RFC 4493 structure).
+template <typename Cipher>
+[[nodiscard]] Block cmac_compute(const Cipher& cipher, std::span<const std::uint8_t> data) {
+  // Subkeys K1, K2 from E(0).
+  Block l{};
+  cipher.encrypt(l);
+  const Block k1 = gf128_double(l);
+  const Block k2 = gf128_double(k1);
+
+  const std::size_t n = data.size();
+  const std::size_t full_blocks = n == 0 ? 0 : (n - 1) / 16;  // blocks before the last
+  Block x{};
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    Block m = block_from(data.subspan(i * 16, 16));
+    block_xor(x, m);
+    cipher.encrypt(x);
+  }
+
+  // Last block: complete -> XOR K1; partial/empty -> pad 10..0, XOR K2.
+  Block last{};
+  const std::size_t tail = n - full_blocks * 16;
+  if (n > 0 && tail == 16) {
+    last = block_from(data.subspan(full_blocks * 16, 16));
+    block_xor(last, k1);
+  } else {
+    for (std::size_t i = 0; i < tail; ++i) last[i] = data[full_blocks * 16 + i];
+    last[tail] = 0x80;
+    block_xor(last, k2);
+  }
+  block_xor(x, last);
+  cipher.encrypt(x);
+  return x;
+}
+
+}  // namespace detail
+
+/// RFC 4493 AES-CMAC.
+class AesCmac final : public Mac {
+ public:
+  explicit AesCmac(const Block& key) noexcept : cipher_(key) {}
+  [[nodiscard]] Block compute(std::span<const std::uint8_t> data) const override {
+    return detail::cmac_compute(cipher_, data);
+  }
+
+ private:
+  Aes128 cipher_;
+};
+
+/// CMAC chaining over the 2EM cipher (the paper's F_MAC primitive).
+class Em2Mac final : public Mac {
+ public:
+  explicit Em2Mac(const Block& key) noexcept : cipher_(key) {}
+  [[nodiscard]] Block compute(std::span<const std::uint8_t> data) const override {
+    return detail::cmac_compute(cipher_, data);
+  }
+
+ private:
+  EvenMansour2 cipher_;
+};
+
+/// Which MAC primitive a node uses for F_MAC.
+enum class MacKind : std::uint8_t { kEm2, kAesCmac };
+
+/// Factory shared by OPT and the benches.
+[[nodiscard]] std::unique_ptr<Mac> make_mac(MacKind kind, const Block& key);
+
+}  // namespace dip::crypto

@@ -1,0 +1,73 @@
+// Deterministic PRNG for workload generation and the simulator.
+//
+// xoshiro256** — fast, high quality, and (unlike std::mt19937) cheap to seed
+// and copy. Determinism matters: every bench/test run regenerates identical
+// workloads, so paper-shape comparisons are stable run to run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dip/crypto/aes.hpp"
+
+namespace dip::crypto {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    // SplitMix64 seeding, the reference recommendation.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Rejection-free multiply-shift; bias negligible for simulator use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t u32() noexcept { return static_cast<std::uint32_t>(next() >> 32); }
+
+  /// Random 128-bit block (keys, session IDs in tests/benches).
+  Block block() noexcept {
+    Block b{};
+    for (int i = 0; i < 16; i += 8) {
+      const std::uint64_t v = next();
+      for (int j = 0; j < 8; ++j) b[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+    return b;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dip::crypto

@@ -1,0 +1,23 @@
+// SipHash-2-4: keyed 64-bit hash for hash-table keying.
+//
+// Used by the name-FIB and PIT hash tables so adversarially chosen content
+// names cannot degenerate the tables (relevant to the §2.4 security
+// discussion about state-exhaustion attacks).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dip::crypto {
+
+using SipKey = std::array<std::uint8_t, 16>;
+
+/// SipHash-2-4 of `data` under `key`.
+[[nodiscard]] std::uint64_t siphash24(const SipKey& key,
+                                      std::span<const std::uint8_t> data) noexcept;
+
+/// Process-wide random-ish key (fixed seed; the simulator is deterministic).
+[[nodiscard]] const SipKey& process_sip_key() noexcept;
+
+}  // namespace dip::crypto

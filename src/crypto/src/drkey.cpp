@@ -1,0 +1,15 @@
+#include "dip/crypto/drkey.hpp"
+
+namespace dip::crypto {
+
+std::vector<Block> derive_path_keys(std::span<const Block> node_secrets,
+                                    const SessionId& session) {
+  std::vector<Block> keys;
+  keys.reserve(node_secrets.size());
+  for (const Block& secret : node_secrets) {
+    keys.push_back(DrKey(secret).derive(session));
+  }
+  return keys;
+}
+
+}  // namespace dip::crypto

@@ -1,0 +1,53 @@
+#include "dip/crypto/even_mansour.hpp"
+
+namespace dip::crypto {
+
+namespace {
+
+// Fixed public constants keying the two public permutations. These are not
+// secrets: Even–Mansour security rests solely on the whitening keys.
+constexpr Block kPerm1Key = {'D', 'I', 'P', '-', '2', 'E', 'M', '-',
+                             'P', 'E', 'R', 'M', '-', 'O', 'N', 'E'};
+constexpr Block kPerm2Key = {'D', 'I', 'P', '-', '2', 'E', 'M', '-',
+                             'P', 'E', 'R', 'M', '-', 'T', 'W', 'O'};
+
+}  // namespace
+
+const Aes128& EvenMansour2::perm1() noexcept {
+  static const Aes128 p(kPerm1Key);
+  return p;
+}
+
+const Aes128& EvenMansour2::perm2() noexcept {
+  static const Aes128 p(kPerm2Key);
+  return p;
+}
+
+EvenMansour2::EvenMansour2(const Block& master_key) noexcept {
+  // k_i = AES_masterkey(i) — a PRF keyed by the master key on distinct inputs.
+  const Aes128 prf(master_key);
+  for (int i = 0; i < 3; ++i) {
+    Block in{};
+    in[15] = static_cast<std::uint8_t>(i + 1);
+    prf.encrypt(in);
+    (i == 0 ? k0_ : i == 1 ? k1_ : k2_) = in;
+  }
+}
+
+void EvenMansour2::encrypt(Block& block) const noexcept {
+  block_xor(block, k0_);
+  perm1().encrypt(block);
+  block_xor(block, k1_);
+  perm2().encrypt(block);
+  block_xor(block, k2_);
+}
+
+void EvenMansour2::decrypt(Block& block) const noexcept {
+  block_xor(block, k2_);
+  perm2().decrypt(block);
+  block_xor(block, k1_);
+  perm1().decrypt(block);
+  block_xor(block, k0_);
+}
+
+}  // namespace dip::crypto

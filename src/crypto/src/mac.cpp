@@ -1,0 +1,28 @@
+#include "dip/crypto/mac.hpp"
+
+namespace dip::crypto {
+
+namespace detail {
+
+Block gf128_double(const Block& in) noexcept {
+  Block out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    out[i] = static_cast<std::uint8_t>((in[i] << 1) | carry);
+    carry = static_cast<std::uint8_t>(in[i] >> 7);
+  }
+  if (carry) out[15] ^= 0x87;  // CMAC reduction constant
+  return out;
+}
+
+}  // namespace detail
+
+std::unique_ptr<Mac> make_mac(MacKind kind, const Block& key) {
+  switch (kind) {
+    case MacKind::kEm2: return std::make_unique<Em2Mac>(key);
+    case MacKind::kAesCmac: return std::make_unique<AesCmac>(key);
+  }
+  return nullptr;
+}
+
+}  // namespace dip::crypto

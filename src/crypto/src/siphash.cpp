@@ -1,0 +1,79 @@
+#include "dip/crypto/siphash.hpp"
+
+namespace dip::crypto {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline std::uint64_t read_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) noexcept {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipKey& key, std::span<const std::uint8_t> data) noexcept {
+  const std::uint64_t k0 = read_le64(key.data());
+  const std::uint64_t k1 = read_le64(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t n = data.size();
+  const std::size_t end = n - (n % 8);
+  for (std::size_t i = 0; i < end; i += 8) {
+    const std::uint64_t m = read_le64(data.data() + i);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t b = static_cast<std::uint64_t>(n) << 56;
+  for (std::size_t i = end; i < n; ++i) {
+    b |= static_cast<std::uint64_t>(data[i]) << (8 * (i - end));
+  }
+  v3 ^= b;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+const SipKey& process_sip_key() noexcept {
+  static const SipKey key = {0x0d, 0x1f, 0x2e, 0x3d, 0x4c, 0x5b, 0x6a, 0x79,
+                             0x88, 0x97, 0xa6, 0xb5, 0xc4, 0xd3, 0xe2, 0xf1};
+  return key;
+}
+
+}  // namespace dip::crypto

@@ -1,0 +1,71 @@
+// Uncompressed binary trie LPM — the reference engine.
+//
+// One node per prefix bit. Obviously correct, used as the oracle in property
+// tests and as the ablation baseline in bench A3.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "dip/fib/lpm.hpp"
+
+namespace dip::fib {
+
+template <std::size_t W>
+class BinaryTrie final : public LpmTable<W> {
+ public:
+  std::optional<NextHop> insert(Prefix<W> prefix, NextHop nh) override {
+    prefix.normalize();
+    Node* node = &root_;
+    for (std::size_t i = 0; i < prefix.length; ++i) {
+      auto& child = node->child[prefix.addr.bit(i)];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    std::optional<NextHop> old = node->next_hop;
+    if (!old) ++size_;
+    node->next_hop = nh;
+    return old;
+  }
+
+  std::optional<NextHop> remove(Prefix<W> prefix) override {
+    prefix.normalize();
+    Node* node = &root_;
+    for (std::size_t i = 0; i < prefix.length; ++i) {
+      auto& child = node->child[prefix.addr.bit(i)];
+      if (!child) return std::nullopt;
+      node = child.get();
+    }
+    std::optional<NextHop> old = node->next_hop;
+    if (old) {
+      node->next_hop.reset();
+      --size_;
+    }
+    // Dangling chains are left in place; fine for a reference engine.
+    return old;
+  }
+
+  [[nodiscard]] std::optional<NextHop> lookup(const Address<W>& addr) const override {
+    std::optional<NextHop> best = root_.next_hop;
+    const Node* node = &root_;
+    for (std::size_t i = 0; i < W; ++i) {
+      node = node->child[addr.bit(i)].get();
+      if (!node) break;
+      if (node->next_hop) best = node->next_hop;
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<NextHop> next_hop;
+  };
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dip::fib

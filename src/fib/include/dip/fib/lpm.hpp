@@ -1,0 +1,47 @@
+// Longest-prefix-match table interface.
+//
+// F_32_match, F_128_match and F_FIB all reduce to LPM over some key space;
+// the engines behind this interface are the subject of ablation A3
+// (bench_fib): binary trie vs Patricia trie vs DIR-24-8.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dip/fib/address.hpp"
+
+namespace dip::fib {
+
+template <std::size_t W>
+class LpmTable {
+ public:
+  virtual ~LpmTable() = default;
+
+  /// Insert or replace a route. Returns the previous next hop if replaced.
+  virtual std::optional<NextHop> insert(Prefix<W> prefix, NextHop nh) = 0;
+
+  /// Remove a route. Returns the removed next hop if present.
+  virtual std::optional<NextHop> remove(Prefix<W> prefix) = 0;
+
+  /// Longest-prefix match.
+  [[nodiscard]] virtual std::optional<NextHop> lookup(const Address<W>& addr) const = 0;
+
+  /// Number of routes installed.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+enum class LpmEngine : std::uint8_t {
+  kBinaryTrie,   ///< one node per prefix bit — simple, slow, memory-hungry
+  kPatricia,     ///< path-compressed trie — the production default
+  kDir24,        ///< DIR-24-8 flat lookup (IPv4 only) — fastest lookup
+};
+
+/// Factory. kDir24 is only valid for W == 32.
+template <std::size_t W>
+[[nodiscard]] std::unique_ptr<LpmTable<W>> make_lpm(LpmEngine engine);
+
+using Ipv4Lpm = LpmTable<32>;
+using Ipv6Lpm = LpmTable<128>;
+
+}  // namespace dip::fib

@@ -1,0 +1,170 @@
+// Path-compressed (Patricia/radix) trie LPM — the production engine.
+//
+// Each node stores the full prefix from the root; chains of single-child
+// nodes are collapsed, so depth is bounded by the number of *distinct*
+// branch points, not the address width.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "dip/fib/lpm.hpp"
+
+namespace dip::fib {
+
+template <std::size_t W>
+class PatriciaTrie final : public LpmTable<W> {
+ public:
+  std::optional<NextHop> insert(Prefix<W> prefix, NextHop nh) override {
+    prefix.normalize();
+    Node* node = &root_;
+    while (true) {
+      if (node->prefix.length == prefix.length) {
+        std::optional<NextHop> old = node->next_hop;
+        if (!old) ++size_;
+        node->next_hop = nh;
+        return old;
+      }
+      // Invariant: node->prefix is a proper prefix of `prefix`.
+      const bool bit = prefix.addr.bit(node->prefix.length);
+      auto& slot = node->child[bit];
+      if (!slot) {
+        slot = std::make_unique<Node>();
+        slot->prefix = prefix;
+        slot->next_hop = nh;
+        ++size_;
+        return std::nullopt;
+      }
+
+      const std::size_t diverge = first_divergence(slot->prefix, prefix);
+      if (diverge == slot->prefix.length) {
+        // slot->prefix is a prefix of `prefix`: descend.
+        node = slot.get();
+        continue;
+      }
+      if (diverge == prefix.length) {
+        // `prefix` is a proper prefix of slot->prefix: insert above slot.
+        auto fresh = std::make_unique<Node>();
+        fresh->prefix = prefix;
+        fresh->next_hop = nh;
+        const bool down = slot->prefix.addr.bit(prefix.length);
+        fresh->child[down] = std::move(slot);
+        slot = std::move(fresh);
+        ++size_;
+        return std::nullopt;
+      }
+      // True divergence: split with a forwarding-less junction node.
+      auto junction = std::make_unique<Node>();
+      junction->prefix = prefix;
+      junction->prefix.length = static_cast<std::uint8_t>(diverge);
+      junction->prefix.normalize();
+      auto leaf = std::make_unique<Node>();
+      leaf->prefix = prefix;
+      leaf->next_hop = nh;
+      const bool old_bit = slot->prefix.addr.bit(diverge);
+      junction->child[old_bit] = std::move(slot);
+      junction->child[!old_bit] = std::move(leaf);
+      slot = std::move(junction);
+      ++size_;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<NextHop> remove(Prefix<W> prefix) override {
+    prefix.normalize();
+    Node* parent = nullptr;
+    Node* node = &root_;
+    while (node->prefix.length < prefix.length) {
+      const bool bit = prefix.addr.bit(node->prefix.length);
+      Node* next = node->child[bit].get();
+      if (!next || first_divergence(next->prefix, prefix) <
+                       std::min<std::size_t>(next->prefix.length, prefix.length)) {
+        return std::nullopt;
+      }
+      if (next->prefix.length > prefix.length) return std::nullopt;
+      parent = node;
+      node = next;
+    }
+    if (node->prefix != prefix || !node->next_hop) return std::nullopt;
+
+    std::optional<NextHop> old = node->next_hop;
+    node->next_hop.reset();
+    --size_;
+    splice(parent, node);
+    return old;
+  }
+
+  [[nodiscard]] std::optional<NextHop> lookup(const Address<W>& addr) const override {
+    std::optional<NextHop> best = root_.next_hop;
+    const Node* node = &root_;
+    while (node->prefix.length < W) {
+      const Node* next = node->child[addr.bit(node->prefix.length)].get();
+      if (!next) break;
+      // Verify the skipped bits actually match.
+      if (!next->prefix.matches(addr)) break;
+      if (next->next_hop) best = next->next_hop;
+      node = next;
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+ private:
+  struct Node {
+    Prefix<W> prefix{};  // full path from root
+    std::optional<NextHop> next_hop;
+    std::unique_ptr<Node> child[2];
+  };
+
+  /// First bit position where the two prefixes differ, capped at the shorter
+  /// length.
+  static std::size_t first_divergence(const Prefix<W>& a, const Prefix<W>& b) noexcept {
+    const std::size_t limit = std::min<std::size_t>(a.length, b.length);
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (a.addr.bit(i) != b.addr.bit(i)) return i;
+    }
+    return limit;
+  }
+
+  /// Remove now-useless structure after clearing node's next hop.
+  void splice(Node* parent, Node* node) {
+    if (!parent) return;  // root is never spliced
+    const bool has0 = static_cast<bool>(node->child[0]);
+    const bool has1 = static_cast<bool>(node->child[1]);
+    auto& slot = parent->child[parent_bit(parent, node)];
+    if (!has0 && !has1) {
+      slot.reset();
+      // Parent may itself have become a useless junction; one level is
+      // enough to restore the invariant for this removal.
+      collapse_junction(parent);
+    } else if (has0 != has1) {
+      slot = std::move(node->child[has1 ? 1 : 0]);
+    }
+    // Two children: node stays as junction.
+  }
+
+  static bool parent_bit(const Node* parent, const Node* node) noexcept {
+    return parent->child[1].get() == node;
+  }
+
+  void collapse_junction(Node* node) {
+    if (node == &root_ || node->next_hop) return;
+    const bool has0 = static_cast<bool>(node->child[0]);
+    const bool has1 = static_cast<bool>(node->child[1]);
+    if (has0 != has1) {
+      // Splice node's single child into node by stealing its contents.
+      std::unique_ptr<Node> child = std::move(node->child[has1 ? 1 : 0]);
+      node->prefix = child->prefix;
+      node->next_hop = child->next_hop;
+      node->child[0] = std::move(child->child[0]);
+      node->child[1] = std::move(child->child[1]);
+    }
+  }
+
+  Node root_;  // prefix length 0
+  std::size_t size_ = 0;
+};
+
+}  // namespace dip::fib

@@ -1,0 +1,75 @@
+// Per-principal XID routing tables for XIA.
+//
+// XIA routes on 160-bit eXpressive IDentifiers, each belonging to a
+// principal type (AD = autonomous domain, HID = host, SID = service,
+// CID = content). A router keeps one exact-match table per principal type;
+// "fallback" traversal of the address DAG consults them in edge-priority
+// order (Han et al., NSDI'12).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "dip/fib/address.hpp"
+
+namespace dip::fib {
+
+enum class XidType : std::uint8_t {
+  kAd = 0x10,   ///< autonomous domain
+  kHid = 0x11,  ///< host
+  kSid = 0x12,  ///< service
+  kCid = 0x13,  ///< content
+};
+
+[[nodiscard]] constexpr bool is_valid_xid_type(std::uint8_t v) noexcept {
+  return v == 0x10 || v == 0x11 || v == 0x12 || v == 0x13;
+}
+
+/// A 160-bit identifier.
+struct Xid {
+  std::array<std::uint8_t, 20> bytes{};
+
+  friend bool operator==(const Xid&, const Xid&) = default;
+};
+
+struct XidHash {
+  std::size_t operator()(const Xid& x) const noexcept {
+    // XIDs are hash outputs already; fold eight bytes.
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | x.bytes[i];
+    return static_cast<std::size_t>(v);
+  }
+};
+
+class XidTable {
+ public:
+  /// Install a route for (type, xid). Replaces and returns the old next hop.
+  std::optional<NextHop> insert(XidType type, const Xid& xid, NextHop nh);
+
+  std::optional<NextHop> remove(XidType type, const Xid& xid);
+
+  [[nodiscard]] std::optional<NextHop> lookup(XidType type, const Xid& xid) const;
+
+  /// Mark (type, xid) as locally owned (this node is the principal).
+  void set_local(XidType type, const Xid& xid) { local_.at(index(type)).emplace(xid, 0); }
+
+  [[nodiscard]] bool is_local(XidType type, const Xid& xid) const {
+    return local_.at(index(type)).contains(xid);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  static std::size_t index(XidType t) {
+    return static_cast<std::size_t>(t) - 0x10;
+  }
+
+  using Table = std::unordered_map<Xid, NextHop, XidHash>;
+  std::array<Table, 4> tables_;
+  std::array<Table, 4> local_;
+};
+
+}  // namespace dip::fib

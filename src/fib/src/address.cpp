@@ -1,0 +1,104 @@
+#include "dip/fib/address.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace dip::fib {
+
+std::optional<Ipv4Addr> parse_ipv4(std::string_view text) {
+  Ipv4Addr a;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    unsigned value = 0;
+    const auto* begin = text.data() + pos;
+    const auto* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || value > 255 || ptr == begin) return std::nullopt;
+    a.bytes[i] = static_cast<std::uint8_t>(value);
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return a;
+}
+
+std::string format_ipv4(const Ipv4Addr& a) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", a.bytes[0], a.bytes[1], a.bytes[2],
+                a.bytes[3]);
+  return buf;
+}
+
+std::optional<Ipv6Addr> parse_ipv6(std::string_view text) {
+  // Split on "::" (at most once), then parse colon-separated 16-bit groups.
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool has_gap = false;
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (pos <= part.size()) {
+      const std::size_t colon = part.find(':', pos);
+      const std::string_view group =
+          part.substr(pos, colon == std::string_view::npos ? std::string_view::npos
+                                                           : colon - pos);
+      if (group.empty() || group.size() > 4) return false;
+      unsigned value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(group.data(), group.data() + group.size(), value, 16);
+      if (ec != std::errc{} || ptr != group.data() + group.size() || value > 0xffff) {
+        return false;
+      }
+      out.push_back(static_cast<std::uint16_t>(value));
+      if (colon == std::string_view::npos) break;
+      pos = colon + 1;
+      if (pos > part.size()) return false;
+    }
+    return true;
+  };
+
+  const std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    if (text.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+  } else {
+    if (!parse_groups(text, head)) return std::nullopt;
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if (has_gap ? total > 7 : total != 8) return std::nullopt;
+
+  Ipv6Addr a;
+  std::size_t idx = 0;
+  for (std::uint16_t g : head) {
+    a.bytes[idx++] = static_cast<std::uint8_t>(g >> 8);
+    a.bytes[idx++] = static_cast<std::uint8_t>(g);
+  }
+  idx = 16 - tail.size() * 2;
+  for (std::uint16_t g : tail) {
+    a.bytes[idx++] = static_cast<std::uint8_t>(g >> 8);
+    a.bytes[idx++] = static_cast<std::uint8_t>(g);
+  }
+  return a;
+}
+
+std::string format_ipv6(const Ipv6Addr& a) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%x:%x:%x:%x:%x:%x:%x:%x",
+                (a.bytes[0] << 8) | a.bytes[1], (a.bytes[2] << 8) | a.bytes[3],
+                (a.bytes[4] << 8) | a.bytes[5], (a.bytes[6] << 8) | a.bytes[7],
+                (a.bytes[8] << 8) | a.bytes[9], (a.bytes[10] << 8) | a.bytes[11],
+                (a.bytes[12] << 8) | a.bytes[13], (a.bytes[14] << 8) | a.bytes[15]);
+  return buf;
+}
+
+}  // namespace dip::fib

@@ -1,0 +1,102 @@
+#include "dip/fib/dir24.hpp"
+
+namespace dip::fib {
+
+namespace {
+constexpr std::uint32_t kBaseEntries = 1u << 24;
+}
+
+Dir24::Dir24() : base_(kBaseEntries, kEmpty) {}
+
+std::optional<NextHop> Dir24::insert(Prefix<32> prefix, NextHop nh) {
+  if (nh > kMaxNextHop) return std::nullopt;
+  prefix.normalize();
+
+  const std::optional<NextHop> old_packed =
+      shadow_.insert(prefix, pack(nh, prefix.length));
+  if (!old_packed) ++size_;
+
+  const std::uint32_t addr = ipv4_to_u32(prefix.addr);
+  if (prefix.length <= 24) {
+    const std::uint32_t first = addr >> 8;
+    const std::uint32_t count = 1u << (24 - prefix.length);
+    for (std::uint32_t b = first; b < first + count; ++b) {
+      const std::uint32_t entry = base_[b];
+      if (entry & kExtendedBit) {
+        // Fold into every sub-entry not owned by a longer route.
+        auto& ext = extensions_[entry & ~kExtendedBit];
+        for (auto& e : ext) {
+          if (e == kEmpty || unpack_len(e) <= prefix.length) e = pack(nh, prefix.length);
+        }
+      } else if (entry == kEmpty || unpack_len(entry) <= prefix.length) {
+        base_[b] = pack(nh, prefix.length);
+      }
+    }
+  } else {
+    const std::uint32_t block = addr >> 8;
+    const std::uint32_t ext_index = ensure_extension(block);
+    auto& ext = extensions_[ext_index];
+    const std::uint32_t first = addr & 0xff;
+    const std::uint32_t count = 1u << (32 - prefix.length);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      if (ext[i] == kEmpty || unpack_len(ext[i]) <= prefix.length) {
+        ext[i] = pack(nh, prefix.length);
+      }
+    }
+  }
+  return old_packed ? std::optional<NextHop>(unpack_nh(*old_packed)) : std::nullopt;
+}
+
+std::optional<NextHop> Dir24::remove(Prefix<32> prefix) {
+  prefix.normalize();
+  const std::optional<NextHop> old_packed = shadow_.remove(prefix);
+  if (!old_packed) return std::nullopt;
+  --size_;
+
+  // Recompute every block the prefix covered from the shadow trie.
+  const std::uint32_t addr = ipv4_to_u32(prefix.addr);
+  const std::uint32_t first = addr >> 8;
+  const std::uint32_t count = prefix.length <= 24 ? (1u << (24 - prefix.length)) : 1;
+  for (std::uint32_t b = first; b < first + count; ++b) refresh_block(b);
+  return unpack_nh(*old_packed);
+}
+
+std::optional<NextHop> Dir24::lookup(const Ipv4Addr& a) const {
+  const std::uint32_t addr = ipv4_to_u32(a);
+  const std::uint32_t entry = base_[addr >> 8];
+  if (entry == kEmpty) return std::nullopt;
+  if (entry & kExtendedBit) {
+    const std::uint32_t e = extensions_[entry & ~kExtendedBit][addr & 0xff];
+    if (e == kEmpty) return std::nullopt;
+    return unpack_nh(e);
+  }
+  return unpack_nh(entry);
+}
+
+void Dir24::refresh_block(std::uint32_t block) {
+  const std::uint32_t entry = base_[block];
+  if (entry & kExtendedBit) {
+    auto& ext = extensions_[entry & ~kExtendedBit];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const auto best = shadow_.lookup(ipv4_from_u32((block << 8) | i));
+      ext[i] = best ? *best : kEmpty;
+    }
+  } else {
+    // No extension: no route longer than /24 covers this block, so the best
+    // route is uniform across it.
+    const auto best = shadow_.lookup(ipv4_from_u32(block << 8));
+    base_[block] = best ? *best : kEmpty;
+  }
+}
+
+std::uint32_t Dir24::ensure_extension(std::uint32_t block) {
+  const std::uint32_t entry = base_[block];
+  if (entry & kExtendedBit) return entry & ~kExtendedBit;
+
+  const std::uint32_t index = static_cast<std::uint32_t>(extensions_.size());
+  extensions_.emplace_back(256, entry);  // seed with the block's current route
+  base_[block] = kExtendedBit | index;
+  return index;
+}
+
+}  // namespace dip::fib

@@ -1,0 +1,122 @@
+#include "dip/fib/name_fib.hpp"
+
+#include "dip/crypto/siphash.hpp"
+
+namespace dip::fib {
+
+Name Name::parse(std::string_view text) {
+  Name name;
+  std::size_t pos = 0;
+  if (!text.empty() && text.front() == '/') pos = 1;
+  while (pos < text.size()) {
+    const std::size_t slash = text.find('/', pos);
+    const std::size_t end = slash == std::string_view::npos ? text.size() : slash;
+    if (end == pos) return Name{};  // empty component: malformed
+    name.append(std::string(text.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return name;
+}
+
+Name Name::prefix(std::size_t n) const {
+  Name out;
+  const std::size_t count = std::min(n, components_.size());
+  out.components_.assign(components_.begin(),
+                         components_.begin() + static_cast<std::ptrdiff_t>(count));
+  return out;
+}
+
+bool Name::is_prefix_of(const Name& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+std::string Name::to_string() const {
+  if (components_.empty()) return "/";
+  std::string out;
+  for (const auto& c : components_) {
+    out.push_back('/');
+    out += c;
+  }
+  return out;
+}
+
+std::uint64_t NameFib::hash_prefix(const Name& name, std::size_t components) {
+  // Hash components with length framing so ("ab","c") != ("a","bc").
+  std::vector<std::uint8_t> buf;
+  for (std::size_t i = 0; i < components; ++i) {
+    const std::string& c = name.component(i);
+    const auto len = static_cast<std::uint32_t>(c.size());
+    for (int s = 24; s >= 0; s -= 8) buf.push_back(static_cast<std::uint8_t>(len >> s));
+    buf.insert(buf.end(), c.begin(), c.end());
+  }
+  return crypto::siphash24(crypto::process_sip_key(), buf);
+}
+
+std::optional<NextHop> NameFib::insert(const Name& name, NextHop nh) {
+  const std::size_t depth = name.component_count();
+  if (by_depth_.size() <= depth) by_depth_.resize(depth + 1);
+  auto& bucket = by_depth_[depth];
+  const std::uint64_t h = hash_prefix(name, depth);
+  auto [it, end] = bucket.equal_range(h);
+  for (; it != end; ++it) {
+    if (it->second.name == name) {
+      const NextHop old = it->second.nh;
+      it->second.nh = nh;
+      return old;
+    }
+  }
+  bucket.emplace(h, Entry{name, nh});
+  ++size_;
+  return std::nullopt;
+}
+
+std::optional<NextHop> NameFib::remove(const Name& name) {
+  const std::size_t depth = name.component_count();
+  if (by_depth_.size() <= depth) return std::nullopt;
+  auto& bucket = by_depth_[depth];
+  const std::uint64_t h = hash_prefix(name, depth);
+  auto [it, end] = bucket.equal_range(h);
+  for (; it != end; ++it) {
+    if (it->second.name == name) {
+      const NextHop old = it->second.nh;
+      bucket.erase(it);
+      --size_;
+      return old;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NextHop> NameFib::lookup(const Name& name) const {
+  const std::size_t max_depth =
+      std::min(name.component_count(), by_depth_.empty() ? 0 : by_depth_.size() - 1);
+  for (std::size_t depth = max_depth + 1; depth-- > 0;) {
+    if (depth >= by_depth_.size()) continue;
+    const auto& bucket = by_depth_[depth];
+    if (bucket.empty()) continue;
+    const std::uint64_t h = hash_prefix(name, depth);
+    auto [it, end] = bucket.equal_range(h);
+    for (; it != end; ++it) {
+      if (it->second.name.is_prefix_of(name)) return it->second.nh;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NextHop> NameFib::exact(const Name& name) const {
+  const std::size_t depth = name.component_count();
+  if (by_depth_.size() <= depth) return std::nullopt;
+  const auto& bucket = by_depth_[depth];
+  const std::uint64_t h = hash_prefix(name, depth);
+  auto [it, end] = bucket.equal_range(h);
+  for (; it != end; ++it) {
+    if (it->second.name == name) return it->second.nh;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dip::fib

@@ -1,0 +1,39 @@
+#include "dip/fib/xid_table.hpp"
+
+namespace dip::fib {
+
+std::optional<NextHop> XidTable::insert(XidType type, const Xid& xid, NextHop nh) {
+  auto& table = tables_.at(index(type));
+  const auto it = table.find(xid);
+  if (it != table.end()) {
+    const NextHop old = it->second;
+    it->second = nh;
+    return old;
+  }
+  table.emplace(xid, nh);
+  return std::nullopt;
+}
+
+std::optional<NextHop> XidTable::remove(XidType type, const Xid& xid) {
+  auto& table = tables_.at(index(type));
+  const auto it = table.find(xid);
+  if (it == table.end()) return std::nullopt;
+  const NextHop old = it->second;
+  table.erase(it);
+  return old;
+}
+
+std::optional<NextHop> XidTable::lookup(XidType type, const Xid& xid) const {
+  const auto& table = tables_.at(index(type));
+  const auto it = table.find(xid);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t XidTable::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : tables_) n += t.size();
+  return n;
+}
+
+}  // namespace dip::fib

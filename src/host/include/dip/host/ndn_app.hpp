@@ -1,0 +1,103 @@
+// NDN application endpoints: consumer (expresses interests, retransmits on
+// timeout) and producer (serves named content, optionally with OPT tags and
+// F_pass labels).
+//
+// These sit on top of netsim::HostNode and give examples/tests a realistic
+// application layer instead of hand-rolled receiver lambdas.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "dip/host/session_store.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/netsim/dip_node.hpp"
+#include "dip/security/pass.hpp"
+
+namespace dip::host {
+
+/// Consumer knobs (namespace scope so brace defaults work as default args).
+struct ConsumerConfig {
+  SimDuration retransmit_timeout = 100 * kMillisecond;
+  std::uint32_t max_retries = 3;
+};
+
+class NdnConsumer {
+ public:
+  using Config = ConsumerConfig;
+
+  /// `node` must outlive the consumer and be attached to a network.
+  NdnConsumer(netsim::HostNode& node, netsim::FaceId face,
+              Config config = ConsumerConfig());
+
+  using DataHandler =
+      std::function<void(const fib::Name&, std::span<const std::uint8_t> payload)>;
+  using FailureHandler = std::function<void(const fib::Name&)>;
+
+  /// Express an interest; `on_data` fires at most once, `on_failure` fires
+  /// after the final retry times out.
+  void express_interest(const fib::Name& name, DataHandler on_data,
+                        FailureHandler on_failure = {});
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retx_; }
+
+ private:
+  struct PendingInterest {
+    fib::Name name;
+    DataHandler on_data;
+    FailureHandler on_failure;
+    std::uint32_t retries_left = 0;
+    std::uint64_t epoch = 0;  ///< invalidates stale timers
+  };
+
+  void on_packet(netsim::FaceId face, netsim::PacketBytes packet, SimTime now);
+  void send_interest(std::uint32_t code);
+  void arm_timer(std::uint32_t code, std::uint64_t epoch);
+
+  netsim::HostNode& node_;
+  netsim::FaceId face_;
+  Config config_;
+  std::unordered_map<std::uint32_t, PendingInterest> pending_;
+  std::uint64_t retx_ = 0;
+  std::uint64_t next_epoch_ = 1;
+};
+
+/// Producer knobs.
+struct ProducerOptions {
+  /// Sign data with OPT tags from this session (NDN+OPT, §3).
+  std::optional<opt::Session> opt_session;
+  std::uint32_t opt_timestamp = 0;
+  /// Attach an F_pass label issued under this AS key (§2.4).
+  std::optional<crypto::Block> pass_key;
+};
+
+class NdnProducer {
+ public:
+  using Options = ProducerOptions;
+
+  NdnProducer(netsim::HostNode& node, netsim::FaceId face,
+              Options options = ProducerOptions());
+
+  /// Serve `payload` under `name`.
+  void publish(const fib::Name& name, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::uint64_t interests_served() const noexcept { return served_; }
+  [[nodiscard]] std::uint64_t interests_unknown() const noexcept { return unknown_; }
+
+ private:
+  void on_packet(netsim::FaceId face, netsim::PacketBytes packet, SimTime now);
+  [[nodiscard]] netsim::PacketBytes make_data(std::uint32_t code,
+                                              std::span<const std::uint8_t> payload) const;
+
+  netsim::HostNode& node_;
+  netsim::FaceId face_;
+  Options options_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> content_;
+  std::uint64_t served_ = 0;
+  std::uint64_t unknown_ = 0;
+};
+
+}  // namespace dip::host

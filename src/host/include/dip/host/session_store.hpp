@@ -1,0 +1,40 @@
+// Host session store: the keys OPT negotiation produced, indexed by
+// session ID so F_ver can find them when a packet arrives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "dip/opt/session.hpp"
+
+namespace dip::host {
+
+class SessionStore {
+ public:
+  void add(opt::Session session) {
+    sessions_[key_of(session.id)] = std::move(session);
+  }
+
+  [[nodiscard]] const opt::Session* find(const crypto::SessionId& id) const {
+    const auto it = sessions_.find(key_of(id));
+    if (it == sessions_.end()) return nullptr;
+    // Guard against the (unlikely) 64-bit key collision.
+    return it->second.id == id ? &it->second : nullptr;
+  }
+
+  bool remove(const crypto::SessionId& id) { return sessions_.erase(key_of(id)) > 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+
+ private:
+  static std::uint64_t key_of(const crypto::SessionId& id) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | id[i];
+    return v;
+  }
+
+  std::unordered_map<std::uint64_t, opt::Session> sessions_;
+};
+
+}  // namespace dip::host

@@ -1,0 +1,49 @@
+// Border-router backward compatibility (§2.4).
+//
+// "The existing network protocol header can be viewed as an FN location in
+// the DIP. ... the border router can remove the basic header and FN
+// definitions, so that the packet is routed only based on the FN operations
+// that are recognized by the legacy devices. Similarly, to process packets
+// from a legacy domain, the inbound border router needs to add back the DIP
+// basic header and FN definitions."
+//
+// Concretely: a DIP packet carrying a *complete native IPv6/IPv4 header* as
+// its FN-locations block can be down-converted to a plain legacy packet by
+// stripping the first 6 + 6*fn_num bytes, and up-converted by prepending
+// them again. The FN program for such carrier packets describes the legacy
+// forwarding semantics (match + source triples over the address fields at
+// their native offsets).
+#pragma once
+
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+#include "dip/core/header.hpp"
+#include "dip/legacy/ipv4.hpp"
+#include "dip/legacy/ipv6.hpp"
+
+namespace dip::legacy {
+
+/// Wrap a native IPv6 packet (header+payload) into a DIP carrier header:
+/// the whole IPv6 header becomes the locations block, with F_128_match over
+/// the destination field (native offset 24B=192b) and F_source over the
+/// source field (offset 8B=64b).
+[[nodiscard]] bytes::Result<core::DipHeader> wrap_ipv6(
+    std::span<const std::uint8_t> ipv6_header);
+
+/// Same for IPv4: F_32_match over offset 16B=128b, F_source over 12B=96b.
+[[nodiscard]] bytes::Result<core::DipHeader> wrap_ipv4(
+    std::span<const std::uint8_t> ipv4_header);
+
+/// Outbound border router: strip basic header + FN definitions, leaving the
+/// raw locations block (the legacy header) followed by the payload.
+/// Returns the legacy packet bytes.
+[[nodiscard]] bytes::Result<std::vector<std::uint8_t>> strip_to_legacy(
+    std::span<const std::uint8_t> dip_packet);
+
+/// Inbound border router: classify a legacy packet by its version nibble
+/// and add back the DIP basic header and FN definitions.
+[[nodiscard]] bytes::Result<std::vector<std::uint8_t>> add_from_legacy(
+    std::span<const std::uint8_t> legacy_packet);
+
+}  // namespace dip::legacy

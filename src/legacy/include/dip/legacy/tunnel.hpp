@@ -1,0 +1,41 @@
+// DIP-over-IPv6 tunneling — incremental deployment (§2.4).
+//
+// "In the early stage of deployment, two DIP domains may not be directly
+// connected. One could use tunneling technology to build end-to-end path
+// across DIP-agnostic domains."
+//
+// The tunnel is a plain IPv6 encapsulation: the inner DIP packet rides as
+// the IPv6 payload with next_header = kNextHeaderDip. Legacy routers in the
+// middle forward on the outer IPv6 header only.
+#pragma once
+
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+#include "dip/legacy/ipv6.hpp"
+
+namespace dip::legacy {
+
+class Ipv6Tunnel {
+ public:
+  Ipv6Tunnel(const fib::Ipv6Addr& local, const fib::Ipv6Addr& remote)
+      : local_(local), remote_(remote) {}
+
+  /// Encapsulate a DIP packet for transit to the remote tunnel endpoint.
+  [[nodiscard]] std::vector<std::uint8_t> encapsulate(
+      std::span<const std::uint8_t> dip_packet) const;
+
+  /// Decapsulate at the tunnel endpoint. Verifies the outer header is
+  /// addressed to us and carries DIP.
+  [[nodiscard]] bytes::Result<std::vector<std::uint8_t>> decapsulate(
+      std::span<const std::uint8_t> ipv6_packet) const;
+
+  [[nodiscard]] const fib::Ipv6Addr& local() const noexcept { return local_; }
+  [[nodiscard]] const fib::Ipv6Addr& remote() const noexcept { return remote_; }
+
+ private:
+  fib::Ipv6Addr local_;
+  fib::Ipv6Addr remote_;
+};
+
+}  // namespace dip::legacy

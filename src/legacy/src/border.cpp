@@ -1,0 +1,79 @@
+#include "dip/legacy/border.hpp"
+
+#include "dip/core/builder.hpp"
+
+namespace dip::legacy {
+
+using core::DipHeader;
+using core::FnTriple;
+using core::OpKey;
+
+bytes::Result<DipHeader> wrap_ipv6(std::span<const std::uint8_t> ipv6_header) {
+  if (ipv6_header.size() < Ipv6Header::kWireSize) {
+    return bytes::Err(bytes::Error::kTruncated);
+  }
+  core::HeaderBuilder b;
+  b.next_header(core::NextHeader::kNone);
+  b.add_location(ipv6_header.subspan(0, Ipv6Header::kWireSize));
+  // Native IPv6 offsets: dst at byte 24, src at byte 8.
+  b.add_fn(FnTriple::router(24 * 8, 128, OpKey::kMatch128));
+  b.add_fn(FnTriple::router(8 * 8, 128, OpKey::kSource));
+  return b.build();
+}
+
+bytes::Result<DipHeader> wrap_ipv4(std::span<const std::uint8_t> ipv4_header) {
+  if (ipv4_header.size() < Ipv4Header::kWireSize) {
+    return bytes::Err(bytes::Error::kTruncated);
+  }
+  core::HeaderBuilder b;
+  b.next_header(core::NextHeader::kNone);
+  b.add_location(ipv4_header.subspan(0, Ipv4Header::kWireSize));
+  // Native IPv4 offsets: dst at byte 16, src at byte 12.
+  b.add_fn(FnTriple::router(16 * 8, 32, OpKey::kMatch32));
+  b.add_fn(FnTriple::router(12 * 8, 32, OpKey::kSource));
+  return b.build();
+}
+
+bytes::Result<std::vector<std::uint8_t>> strip_to_legacy(
+    std::span<const std::uint8_t> dip_packet) {
+  const auto header = DipHeader::parse(dip_packet);
+  if (!header) return bytes::Err(header.error());
+
+  // Sanity: the locations block must start with a legacy version nibble,
+  // otherwise stripping would emit garbage into the legacy domain.
+  if (header->locations.empty()) return bytes::Err(bytes::Error::kMalformed);
+  const std::uint8_t version = header->locations[0] >> 4;
+  if (version != 4 && version != 6) return bytes::Err(bytes::Error::kUnsupported);
+
+  const std::size_t strip =
+      core::BasicHeader::kWireSize + header->fns.size() * FnTriple::kWireSize;
+  return std::vector<std::uint8_t>(dip_packet.begin() + static_cast<std::ptrdiff_t>(strip),
+                                   dip_packet.end());
+}
+
+bytes::Result<std::vector<std::uint8_t>> add_from_legacy(
+    std::span<const std::uint8_t> legacy_packet) {
+  if (legacy_packet.empty()) return bytes::Err(bytes::Error::kTruncated);
+
+  const std::uint8_t version = legacy_packet[0] >> 4;
+  bytes::Result<DipHeader> header = bytes::Err(bytes::Error::kUnsupported);
+  std::size_t header_size = 0;
+  if (version == 6) {
+    header = wrap_ipv6(legacy_packet);
+    header_size = Ipv6Header::kWireSize;
+  } else if (version == 4) {
+    header = wrap_ipv4(legacy_packet);
+    header_size = Ipv4Header::kWireSize;
+  } else {
+    return bytes::Err(bytes::Error::kUnsupported);
+  }
+  if (!header) return bytes::Err(header.error());
+  if (legacy_packet.size() < header_size) return bytes::Err(bytes::Error::kTruncated);
+
+  std::vector<std::uint8_t> out = header->serialize();
+  out.insert(out.end(), legacy_packet.begin() + static_cast<std::ptrdiff_t>(header_size),
+             legacy_packet.end());
+  return out;
+}
+
+}  // namespace dip::legacy

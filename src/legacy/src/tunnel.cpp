@@ -1,0 +1,38 @@
+#include "dip/legacy/tunnel.hpp"
+
+namespace dip::legacy {
+
+std::vector<std::uint8_t> Ipv6Tunnel::encapsulate(
+    std::span<const std::uint8_t> dip_packet) const {
+  Ipv6Header outer;
+  outer.next_header = Ipv6Header::kNextHeaderDip;
+  outer.payload_length = static_cast<std::uint16_t>(dip_packet.size());
+  outer.src = local_;
+  outer.dst = remote_;
+
+  std::vector<std::uint8_t> out(Ipv6Header::kWireSize + dip_packet.size());
+  (void)outer.serialize(out);
+  std::copy(dip_packet.begin(), dip_packet.end(),
+            out.begin() + Ipv6Header::kWireSize);
+  return out;
+}
+
+bytes::Result<std::vector<std::uint8_t>> Ipv6Tunnel::decapsulate(
+    std::span<const std::uint8_t> ipv6_packet) const {
+  const auto outer = Ipv6Header::parse(ipv6_packet);
+  if (!outer) return bytes::Err(outer.error());
+  if (outer->next_header != Ipv6Header::kNextHeaderDip) {
+    return bytes::Err(bytes::Error::kUnsupported);
+  }
+  if (outer->dst != local_) return bytes::Err(bytes::Error::kMalformed);
+
+  const auto inner_size = static_cast<std::size_t>(outer->payload_length);
+  if (ipv6_packet.size() < Ipv6Header::kWireSize + inner_size) {
+    return bytes::Err(bytes::Error::kTruncated);
+  }
+  return std::vector<std::uint8_t>(
+      ipv6_packet.begin() + Ipv6Header::kWireSize,
+      ipv6_packet.begin() + static_cast<std::ptrdiff_t>(Ipv6Header::kWireSize + inner_size));
+}
+
+}  // namespace dip::legacy

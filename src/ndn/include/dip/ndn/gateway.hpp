@@ -1,0 +1,49 @@
+// NDN ↔ DIP gateway.
+//
+// Translates native NDN TLV packets onto the DIP realization (§3) and
+// back — the NDN analogue of the §2.4 border router for legacy IP. Inbound
+// interests become 16-byte DIP interest packets (name → 32-bit code);
+// outbound DIP data packets are re-expanded to full TLV Data using the
+// name the gateway remembered for that code.
+#pragma once
+
+#include <unordered_map>
+
+#include "dip/ndn/ndn.hpp"
+#include "dip/ndn/tlv.hpp"
+
+namespace dip::ndn {
+
+class Gateway {
+ public:
+  /// Native interest -> DIP interest packet. Remembers code -> name so the
+  /// returning data can be expanded again. Rejects interests whose code
+  /// collides with a *different* pending name (the 32-bit prototype cannot
+  /// disambiguate them, §4.1).
+  [[nodiscard]] bytes::Result<std::vector<std::uint8_t>> interest_to_dip(
+      const tlv::Interest& interest);
+
+  /// DIP data packet (header + payload) -> native Data. Consumes the
+  /// remembered name mapping. kState if the gateway never saw an interest
+  /// for this code.
+  [[nodiscard]] bytes::Result<tlv::Data> dip_to_data(
+      std::span<const std::uint8_t> dip_packet);
+
+  /// Native Data -> DIP data packet (producer side of the gateway).
+  [[nodiscard]] std::vector<std::uint8_t> data_to_dip(const tlv::Data& data) const;
+
+  /// DIP interest packet -> native interest (producer side). Needs the
+  /// reverse mapping, so it only works for codes this gateway issued —
+  /// standalone producers behind a gateway register their prefixes instead.
+  [[nodiscard]] bytes::Result<tlv::Interest> dip_to_interest(
+      std::span<const std::uint8_t> dip_packet) const;
+
+  [[nodiscard]] std::size_t pending() const noexcept { return names_.size(); }
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+
+ private:
+  std::unordered_map<std::uint32_t, fib::Name> names_;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace dip::ndn

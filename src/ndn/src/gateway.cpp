@@ -1,0 +1,69 @@
+#include "dip/ndn/gateway.hpp"
+
+namespace dip::ndn {
+
+bytes::Result<std::vector<std::uint8_t>> Gateway::interest_to_dip(
+    const tlv::Interest& interest) {
+  const std::uint32_t code = encode_name32(interest.name);
+
+  const auto it = names_.find(code);
+  if (it != names_.end() && !(it->second == interest.name)) {
+    // Two live names squeezed into one 32-bit code: refuse rather than
+    // mis-deliver (the documented prototype compromise made explicit).
+    ++collisions_;
+    return bytes::Err(bytes::Error::kState);
+  }
+  names_.emplace(code, interest.name);
+
+  const auto header = make_interest_header32(code);
+  if (!header) return bytes::Err(bytes::Error::kMalformed);
+  return header->serialize();
+}
+
+bytes::Result<tlv::Data> Gateway::dip_to_data(
+    std::span<const std::uint8_t> dip_packet) {
+  const auto header = core::DipHeader::parse(dip_packet);
+  if (!header) return bytes::Err(header.error());
+  const auto code = extract_name_code(*header);
+  if (!code || header->fns.empty() ||
+      header->fns[0].key() != core::OpKey::kPit) {
+    return bytes::Err(bytes::Error::kMalformed);
+  }
+
+  const auto it = names_.find(static_cast<std::uint32_t>(*code));
+  if (it == names_.end()) return bytes::Err(bytes::Error::kState);
+
+  tlv::Data data;
+  data.name = it->second;
+  const auto payload = dip_packet.subspan(header->wire_size());
+  data.content.assign(payload.begin(), payload.end());
+  data.digest = data.compute_digest();
+  names_.erase(it);  // consumed, like the PIT entry it shadowed
+  return data;
+}
+
+std::vector<std::uint8_t> Gateway::data_to_dip(const tlv::Data& data) const {
+  auto wire = make_data_header(data.name)->serialize();
+  wire.insert(wire.end(), data.content.begin(), data.content.end());
+  return wire;
+}
+
+bytes::Result<tlv::Interest> Gateway::dip_to_interest(
+    std::span<const std::uint8_t> dip_packet) const {
+  const auto header = core::DipHeader::parse(dip_packet);
+  if (!header) return bytes::Err(header.error());
+  const auto code = extract_name_code(*header);
+  if (!code || header->fns.empty() ||
+      header->fns[0].key() != core::OpKey::kFib) {
+    return bytes::Err(bytes::Error::kMalformed);
+  }
+  const auto it = names_.find(static_cast<std::uint32_t>(*code));
+  if (it == names_.end()) return bytes::Err(bytes::Error::kState);
+
+  tlv::Interest interest;
+  interest.name = it->second;
+  interest.nonce = static_cast<std::uint32_t>(*code);  // deterministic stand-in
+  return interest;
+}
+
+}  // namespace dip::ndn

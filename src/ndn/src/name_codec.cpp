@@ -1,0 +1,44 @@
+#include "dip/ndn/name_codec.hpp"
+
+#include <algorithm>
+
+#include "dip/crypto/siphash.hpp"
+
+namespace dip::ndn {
+
+namespace {
+
+std::uint8_t component_byte(const std::string& component) {
+  const std::span<const std::uint8_t> view{
+      reinterpret_cast<const std::uint8_t*>(component.data()), component.size()};
+  return static_cast<std::uint8_t>(
+      crypto::siphash24(crypto::process_sip_key(), view) & 0xff);
+}
+
+}  // namespace
+
+std::uint32_t encode_name32(const fib::Name& name) {
+  std::uint32_t code = 0;
+  const std::size_t n = std::min(name.component_count(), kMaxCodedComponents);
+  for (std::size_t i = 0; i < kMaxCodedComponents; ++i) {
+    const std::uint8_t byte = i < n ? component_byte(name.component(i)) : 0;
+    code = (code << 8) | byte;
+  }
+  return code;
+}
+
+fib::Ipv4Prefix encode_prefix32(const fib::Name& name, std::size_t components) {
+  const std::size_t n =
+      std::min({components, name.component_count(), kMaxCodedComponents});
+  fib::Ipv4Prefix prefix;
+  prefix.addr = fib::ipv4_from_u32(encode_name32(name.prefix(n)));
+  prefix.length = static_cast<std::uint8_t>(n * 8);
+  prefix.normalize();
+  return prefix;
+}
+
+void install_name_route(fib::Ipv4Lpm& fib, const fib::Name& prefix, fib::NextHop nh) {
+  fib.insert(encode_prefix32(prefix, prefix.component_count()), nh);
+}
+
+}  // namespace dip::ndn

@@ -1,0 +1,235 @@
+#include "dip/ndn/tlv.hpp"
+
+#include "dip/crypto/siphash.hpp"
+
+namespace dip::ndn::tlv {
+
+void write_varnum(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  if (value < 253) {
+    out.push_back(static_cast<std::uint8_t>(value));
+  } else if (value <= 0xffff) {
+    out.push_back(253);
+    out.push_back(static_cast<std::uint8_t>(value >> 8));
+    out.push_back(static_cast<std::uint8_t>(value));
+  } else if (value <= 0xffffffff) {
+    out.push_back(254);
+    for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  } else {
+    out.push_back(255);
+    for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+bytes::Result<std::uint64_t> read_varnum(std::span<const std::uint8_t> data,
+                                         std::size_t& pos) {
+  if (pos >= data.size()) return bytes::Err(bytes::Error::kTruncated);
+  const std::uint8_t first = data[pos++];
+  std::size_t extra = 0;
+  if (first < 253) return static_cast<std::uint64_t>(first);
+  if (first == 253) extra = 2;
+  else if (first == 254) extra = 4;
+  else extra = 8;
+
+  if (pos + extra > data.size()) return bytes::Err(bytes::Error::kTruncated);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < extra; ++i) value = (value << 8) | data[pos++];
+  return value;
+}
+
+void write_tlv(std::vector<std::uint8_t>& out, std::uint64_t type,
+               std::span<const std::uint8_t> value) {
+  write_varnum(out, type);
+  write_varnum(out, value.size());
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+bytes::Result<Element> read_tlv(std::span<const std::uint8_t> data, std::size_t& pos) {
+  Element element;
+  const auto type = read_varnum(data, pos);
+  if (!type) return bytes::Err(type.error());
+  const auto length = read_varnum(data, pos);
+  if (!length) return bytes::Err(length.error());
+  if (pos + *length > data.size()) return bytes::Err(bytes::Error::kTruncated);
+  element.type = *type;
+  element.value = data.subspan(pos, *length);
+  pos += *length;
+  return element;
+}
+
+void write_name(std::vector<std::uint8_t>& out, const fib::Name& name) {
+  std::vector<std::uint8_t> body;
+  for (std::size_t i = 0; i < name.component_count(); ++i) {
+    const std::string& c = name.component(i);
+    write_tlv(body, kGenericComponent,
+              {reinterpret_cast<const std::uint8_t*>(c.data()), c.size()});
+  }
+  write_tlv(out, kName, body);
+}
+
+bytes::Result<fib::Name> parse_name(std::span<const std::uint8_t> value) {
+  fib::Name name;
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    const auto component = read_tlv(value, pos);
+    if (!component) return bytes::Err(component.error());
+    if (component->type != kGenericComponent) {
+      return bytes::Err(bytes::Error::kUnsupported);
+    }
+    if (component->value.empty()) return bytes::Err(bytes::Error::kMalformed);
+    name.append(std::string(component->value.begin(), component->value.end()));
+  }
+  return name;
+}
+
+namespace {
+
+void write_nonneg(std::vector<std::uint8_t>& out, std::uint64_t type,
+                  std::uint64_t value) {
+  std::vector<std::uint8_t> body;
+  // Shortest big-endian encoding of 1/2/4/8 bytes (NDN NonNegativeInteger).
+  int bytes_needed = value <= 0xff ? 1 : value <= 0xffff ? 2 : value <= 0xffffffff ? 4 : 8;
+  for (int i = bytes_needed - 1; i >= 0; --i) {
+    body.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  write_tlv(out, type, body);
+}
+
+std::uint64_t read_nonneg(std::span<const std::uint8_t> value) {
+  std::uint64_t v = 0;
+  for (const std::uint8_t b : value) v = (v << 8) | b;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Interest::encode() const {
+  std::vector<std::uint8_t> body;
+  write_name(body, name);
+  if (can_be_prefix) write_tlv(body, kCanBePrefix, {});
+  if (must_be_fresh) write_tlv(body, kMustBeFresh, {});
+  const std::array<std::uint8_t, 4> nonce_bytes = {
+      static_cast<std::uint8_t>(nonce >> 24), static_cast<std::uint8_t>(nonce >> 16),
+      static_cast<std::uint8_t>(nonce >> 8), static_cast<std::uint8_t>(nonce)};
+  write_tlv(body, kNonce, nonce_bytes);
+  if (lifetime_ms) write_nonneg(body, kInterestLifetime, *lifetime_ms);
+
+  std::vector<std::uint8_t> out;
+  write_tlv(out, kInterest, body);
+  return out;
+}
+
+bytes::Result<Interest> Interest::decode(std::span<const std::uint8_t> wire) {
+  std::size_t pos = 0;
+  const auto outer = read_tlv(wire, pos);
+  if (!outer) return bytes::Err(outer.error());
+  if (outer->type != kInterest) return bytes::Err(bytes::Error::kMalformed);
+
+  Interest interest;
+  bool saw_name = false;
+  std::size_t inner = 0;
+  while (inner < outer->value.size()) {
+    const auto element = read_tlv(outer->value, inner);
+    if (!element) return bytes::Err(element.error());
+    switch (element->type) {
+      case kName: {
+        auto name = parse_name(element->value);
+        if (!name) return bytes::Err(name.error());
+        interest.name = std::move(*name);
+        saw_name = true;
+        break;
+      }
+      case kCanBePrefix: interest.can_be_prefix = true; break;
+      case kMustBeFresh: interest.must_be_fresh = true; break;
+      case kNonce:
+        if (element->value.size() != 4) return bytes::Err(bytes::Error::kMalformed);
+        interest.nonce = static_cast<std::uint32_t>(read_nonneg(element->value));
+        break;
+      case kInterestLifetime:
+        interest.lifetime_ms = read_nonneg(element->value);
+        break;
+      default:
+        break;  // unknown non-critical elements are skipped
+    }
+  }
+  if (!saw_name || interest.name.empty()) return bytes::Err(bytes::Error::kMalformed);
+  return interest;
+}
+
+std::uint64_t Data::compute_digest() const {
+  std::vector<std::uint8_t> input;
+  write_name(input, name);
+  input.insert(input.end(), content.begin(), content.end());
+  return crypto::siphash24(crypto::process_sip_key(), input);
+}
+
+std::vector<std::uint8_t> Data::encode() const {
+  std::vector<std::uint8_t> body;
+  write_name(body, name);
+  if (freshness_ms) {
+    std::vector<std::uint8_t> meta;
+    write_nonneg(meta, kFreshnessPeriod, *freshness_ms);
+    write_tlv(body, kMetaInfo, meta);
+  }
+  write_tlv(body, kContent, content);
+
+  std::vector<std::uint8_t> siginfo;
+  write_nonneg(siginfo, kSignatureType, 0);  // 0 = DigestSha256 (stand-in)
+  write_tlv(body, kSignatureInfo, siginfo);
+
+  std::array<std::uint8_t, 8> digest_bytes{};
+  const std::uint64_t d = digest != 0 ? digest : compute_digest();
+  for (int i = 0; i < 8; ++i) {
+    digest_bytes[i] = static_cast<std::uint8_t>(d >> (8 * (7 - i)));
+  }
+  write_tlv(body, kSignatureValue, digest_bytes);
+
+  std::vector<std::uint8_t> out;
+  write_tlv(out, kData, body);
+  return out;
+}
+
+bytes::Result<Data> Data::decode(std::span<const std::uint8_t> wire) {
+  std::size_t pos = 0;
+  const auto outer = read_tlv(wire, pos);
+  if (!outer) return bytes::Err(outer.error());
+  if (outer->type != kData) return bytes::Err(bytes::Error::kMalformed);
+
+  Data data;
+  bool saw_name = false;
+  std::size_t inner = 0;
+  while (inner < outer->value.size()) {
+    const auto element = read_tlv(outer->value, inner);
+    if (!element) return bytes::Err(element.error());
+    switch (element->type) {
+      case kName: {
+        auto name = parse_name(element->value);
+        if (!name) return bytes::Err(name.error());
+        data.name = std::move(*name);
+        saw_name = true;
+        break;
+      }
+      case kMetaInfo: {
+        std::size_t meta_pos = 0;
+        while (meta_pos < element->value.size()) {
+          const auto meta = read_tlv(element->value, meta_pos);
+          if (!meta) return bytes::Err(meta.error());
+          if (meta->type == kFreshnessPeriod) data.freshness_ms = read_nonneg(meta->value);
+        }
+        break;
+      }
+      case kContent:
+        data.content.assign(element->value.begin(), element->value.end());
+        break;
+      case kSignatureValue:
+        if (element->value.size() != 8) return bytes::Err(bytes::Error::kMalformed);
+        data.digest = read_nonneg(element->value);
+        break;
+      default:
+        break;
+    }
+  }
+  if (!saw_name || data.name.empty()) return bytes::Err(bytes::Error::kMalformed);
+  return data;
+}
+
+}  // namespace dip::ndn::tlv

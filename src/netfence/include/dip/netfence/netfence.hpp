@@ -1,0 +1,139 @@
+// NetFence-style in-network congestion policing as a Field Operation.
+//
+// §2.1 names "the MAC-protected congestion control tag in NetFence" as a
+// canonical FN target field; §1 describes NetFence as inserting "a slim
+// customized header between L3 and L4 to emulate congestion control (i.e.,
+// additive increase and multiplicative decrease, AIMD) inside the network
+// to mitigate DDoS attacks". This module realizes that design as F_cc:
+//
+//   tag layout (24 bytes, byte-aligned in the FN-locations block):
+//     [0]      action    : kNop / kDown (bottleneck asks for decrease)
+//     [1,4)    reserved
+//     [4,8)    rate      : the bottleneck's advised rate, bytes/sec
+//     [8,24)   MAC       : 2EM-CMAC over bytes [0,8) under the bottleneck
+//                          AS key — receivers reject forged "no congestion"
+//                          feedback, the core NetFence property
+//
+// Router side (CcOp): a token-bucket congestion monitor; when the arrival
+// rate exceeds capacity, stamp kDown + the fair rate and re-MAC the tag.
+// Receiver side: verify the MAC, echo the feedback to the sender.
+// Sender side (AimdSender): additive increase per feedback round,
+// multiplicative decrease on kDown.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dip/bytes/time.hpp"
+#include "dip/core/builder.hpp"
+#include "dip/core/op_module.hpp"
+#include "dip/crypto/mac.hpp"
+
+namespace dip::netfence {
+
+inline constexpr std::size_t kTagBytes = 24;
+
+enum class CcAction : std::uint8_t {
+  kNop = 0,   ///< no congestion observed
+  kDown = 1,  ///< multiplicative decrease requested
+};
+
+struct CcTag {
+  CcAction action = CcAction::kNop;
+  std::uint32_t rate_bps = 0;  ///< advised rate (bytes/sec) when kDown
+  crypto::Block mac{};
+
+  [[nodiscard]] static CcTag read(std::span<const std::uint8_t> field) noexcept;
+  void write(std::span<std::uint8_t> field) const noexcept;
+
+  /// MAC over the action/rate bytes under `key`.
+  [[nodiscard]] static crypto::Block compute_mac(std::span<const std::uint8_t> field,
+                                                 const crypto::Block& key,
+                                                 crypto::MacKind kind);
+};
+
+/// Sliding-window arrival-rate monitor (the bottleneck detector).
+class CongestionMonitor {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes_per_sec = 1'000'000;
+    SimDuration window = 10 * kMillisecond;
+  };
+
+  CongestionMonitor() : CongestionMonitor(Config{}) {}
+  explicit CongestionMonitor(const Config& config) : config_(config) {}
+
+  /// Record an arrival; returns true when the window rate exceeds capacity.
+  bool on_arrival(std::size_t packet_bytes, SimTime now);
+
+  /// Max-min fair share advice: capacity split over active senders seen in
+  /// the current window (coarse, as NetFence's per-sender policing is).
+  [[nodiscard]] std::uint32_t advised_rate() const noexcept;
+
+  [[nodiscard]] bool congested() const noexcept { return congested_; }
+
+ private:
+  Config config_;
+  SimTime window_start_ = 0;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t window_packets_ = 0;
+  bool congested_ = false;
+};
+
+/// F_cc (key 14). Stateful: one instance per router (per-node registries).
+class CcOp final : public core::OpModule {
+ public:
+  CcOp(crypto::Block as_key, CongestionMonitor::Config monitor_config)
+      : as_key_(as_key), monitor_(monitor_config) {}
+
+  [[nodiscard]] core::OpKey key() const noexcept override { return core::OpKey::kCc; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 4; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+
+  [[nodiscard]] CongestionMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] std::uint64_t downgrades() const noexcept { return downgrades_; }
+
+ private:
+  crypto::Block as_key_;
+  CongestionMonitor monitor_;
+  std::uint64_t downgrades_ = 0;
+};
+
+/// Append a zeroed, validly-MACed F_cc tag to a header under construction.
+void add_cc_fn(core::HeaderBuilder& builder, const crypto::Block& as_key,
+               crypto::MacKind kind = crypto::MacKind::kEm2);
+
+/// Receiver side: verify and read the tag; nullopt if the MAC is bad.
+[[nodiscard]] std::optional<CcTag> verify_cc_tag(std::span<const std::uint8_t> field,
+                                                 const crypto::Block& as_key,
+                                                 crypto::MacKind kind =
+                                                     crypto::MacKind::kEm2);
+
+/// AIMD rate controller (the sender's reaction to echoed feedback).
+class AimdSender {
+ public:
+  struct Config {
+    std::uint32_t initial_rate = 100'000;   ///< bytes/sec
+    std::uint32_t additive_step = 10'000;   ///< per feedback round
+    double multiplicative_factor = 0.5;
+    std::uint32_t min_rate = 1'000;
+    std::uint32_t max_rate = 100'000'000;
+  };
+
+  AimdSender() : AimdSender(Config{}) {}
+  explicit AimdSender(const Config& config)
+      : config_(config), rate_(config.initial_rate) {}
+
+  /// Apply one round of feedback.
+  void on_feedback(const CcTag& tag);
+
+  [[nodiscard]] std::uint32_t rate() const noexcept { return rate_; }
+  [[nodiscard]] std::uint64_t decreases() const noexcept { return decreases_; }
+
+ private:
+  Config config_;
+  std::uint32_t rate_;
+  std::uint64_t decreases_ = 0;
+};
+
+}  // namespace dip::netfence

@@ -1,0 +1,112 @@
+#include "dip/netfence/netfence.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dip::netfence {
+
+CcTag CcTag::read(std::span<const std::uint8_t> field) noexcept {
+  CcTag tag;
+  if (field.size() < kTagBytes) return tag;
+  tag.action = field[0] == 1 ? CcAction::kDown : CcAction::kNop;
+  for (int i = 0; i < 4; ++i) tag.rate_bps = (tag.rate_bps << 8) | field[4 + i];
+  tag.mac = crypto::block_from(field.subspan(8, 16));
+  return tag;
+}
+
+void CcTag::write(std::span<std::uint8_t> field) const noexcept {
+  if (field.size() < kTagBytes) return;
+  field[0] = static_cast<std::uint8_t>(action);
+  field[1] = field[2] = field[3] = 0;
+  for (int i = 0; i < 4; ++i) {
+    field[4 + i] = static_cast<std::uint8_t>(rate_bps >> (8 * (3 - i)));
+  }
+  crypto::block_to(mac, field.subspan(8, 16));
+}
+
+crypto::Block CcTag::compute_mac(std::span<const std::uint8_t> field,
+                                 const crypto::Block& key, crypto::MacKind kind) {
+  return crypto::make_mac(kind, key)->compute(field.subspan(0, 8));
+}
+
+bool CongestionMonitor::on_arrival(std::size_t packet_bytes, SimTime now) {
+  if (now - window_start_ >= config_.window) {
+    // Close the window: decide congestion from what it accumulated.
+    const std::uint64_t window_ns = std::max<std::uint64_t>(config_.window, 1);
+    const std::uint64_t rate = window_bytes_ * kSecond / window_ns;
+    congested_ = rate > config_.capacity_bytes_per_sec;
+    window_start_ = now;
+    window_bytes_ = 0;
+    window_packets_ = 0;
+  }
+  window_bytes_ += packet_bytes;
+  ++window_packets_;
+  return congested_;
+}
+
+std::uint32_t CongestionMonitor::advised_rate() const noexcept {
+  const std::uint64_t senders = std::max<std::uint64_t>(window_packets_, 1);
+  return static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(config_.capacity_bytes_per_sec / senders, 1));
+}
+
+bytes::Status CcOp::execute(core::OpContext& ctx) {
+  auto field = ctx.target_bytes();
+  if (field.size() < kTagBytes) return bytes::Unexpected{bytes::Error::kMalformed};
+
+  const bool congested =
+      monitor_.on_arrival(ctx.locations.size() + ctx.payload.size(), ctx.now);
+
+  CcTag tag = CcTag::read(field);
+  if (congested) {
+    // NetFence: the bottleneck downgrades the tag; an already-downgraded
+    // tag keeps the lowest advised rate (the tightest bottleneck wins).
+    const std::uint32_t advised = monitor_.advised_rate();
+    if (tag.action != CcAction::kDown || advised < tag.rate_bps) {
+      tag.action = CcAction::kDown;
+      tag.rate_bps = advised;
+      ++downgrades_;
+    }
+  }
+  tag.write(field);
+  // Re-MAC so the receiver can trust the (possibly updated) feedback. The
+  // MAC also re-covers untouched tags, preventing on-path downgrade erasure.
+  tag.mac = CcTag::compute_mac(field, as_key_, ctx.env->mac_kind);
+  tag.write(field);
+  return {};
+}
+
+void add_cc_fn(core::HeaderBuilder& builder, const crypto::Block& as_key,
+               crypto::MacKind kind) {
+  std::array<std::uint8_t, kTagBytes> field{};
+  CcTag tag;  // kNop
+  tag.write(field);
+  tag.mac = CcTag::compute_mac(field, as_key, kind);
+  tag.write(field);
+  builder.add_router_fn(core::OpKey::kCc, field);
+}
+
+std::optional<CcTag> verify_cc_tag(std::span<const std::uint8_t> field,
+                                   const crypto::Block& as_key, crypto::MacKind kind) {
+  if (field.size() < kTagBytes) return std::nullopt;
+  const CcTag tag = CcTag::read(field);
+  const crypto::Block expected = CcTag::compute_mac(field, as_key, kind);
+  if (!crypto::block_equal_ct(expected, tag.mac)) return std::nullopt;
+  return tag;
+}
+
+void AimdSender::on_feedback(const CcTag& tag) {
+  if (tag.action == CcAction::kDown) {
+    ++decreases_;
+    const auto scaled = static_cast<std::uint32_t>(
+        static_cast<double>(rate_) * config_.multiplicative_factor);
+    // Honor the bottleneck's advice when it is tighter than plain MD.
+    rate_ = std::clamp(std::min(scaled, tag.rate_bps == 0 ? scaled : tag.rate_bps),
+                       config_.min_rate, config_.max_rate);
+  } else {
+    rate_ = std::clamp(rate_ + config_.additive_step, config_.min_rate,
+                       config_.max_rate);
+  }
+}
+
+}  // namespace dip::netfence

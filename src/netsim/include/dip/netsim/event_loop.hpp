@@ -1,0 +1,53 @@
+// Deterministic discrete-event scheduler.
+//
+// Single-threaded, strictly ordered by (time, insertion sequence): two
+// events at the same instant fire in schedule order, so simulations are
+// reproducible bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "dip/bytes/time.hpp"
+
+namespace dip::netsim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now()).
+  void schedule_at(SimTime at, Callback fn);
+
+  /// Schedule `fn` after `delay`.
+  void schedule_in(SimDuration delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the queue drains or `deadline` passes. Returns the number of
+  /// events executed.
+  std::size_t run(SimTime deadline = ~SimTime{0});
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dip::netsim

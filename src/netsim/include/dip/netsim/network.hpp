@@ -1,0 +1,116 @@
+// Network: nodes, faces, links, and packet transport.
+//
+// Topology model: nodes are added first, then connected pairwise; each
+// connection allocates one face id on each endpoint. A link has propagation
+// latency, bandwidth (serialization delay = bits / bandwidth), and an
+// optional deterministic loss rate. Delivery is in-order per link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dip/crypto/random.hpp"
+#include "dip/netsim/event_loop.hpp"
+
+namespace dip::netsim {
+
+using NodeId = std::uint32_t;
+using FaceId = std::uint32_t;
+
+/// A captured packet in flight or delivered (tests/tracing).
+using PacketBytes = std::vector<std::uint8_t>;
+
+class Network;
+
+/// Anything attachable to the network: DIP routers, hosts, legacy routers,
+/// border routers.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called when a packet arrives on `face` at simulated time `now`.
+  virtual void on_packet(FaceId face, PacketBytes packet, SimTime now) = 0;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Network* network() const noexcept { return network_; }
+
+ private:
+  friend class Network;
+  NodeId id_ = 0;
+  Network* network_ = nullptr;
+};
+
+struct LinkParams {
+  SimDuration latency = 1 * kMicrosecond;
+  std::uint64_t bandwidth_bps = 10'000'000'000;  ///< 10 Gb/s default
+  double loss_rate = 0.0;                        ///< deterministic PRNG loss
+  /// Tail-drop bound: a packet that would wait longer than this in the
+  /// transmit queue is dropped (0 = infinite queue). Models the finite
+  /// buffers the NetFence/CSFQ experiments congest against.
+  SimDuration max_queue_delay = 0;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Attach a node; the network does not own it.
+  NodeId add_node(Node& node);
+
+  /// Connect two attached nodes; returns (face on a, face on b).
+  std::pair<FaceId, FaceId> connect(Node& a, Node& b, LinkParams params = {});
+
+  /// Transmit out of `face` of `from`. Packets on unconnected faces are
+  /// counted as dropped.
+  void send(const Node& from, FaceId face, PacketBytes packet);
+
+  /// The neighbor face reachable through (node, face), if connected.
+  [[nodiscard]] std::optional<std::pair<NodeId, FaceId>> peer_of(const Node& node,
+                                                                 FaceId face) const;
+
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
+
+  /// Run the simulation to quiescence (or deadline).
+  std::size_t run(SimTime deadline = ~SimTime{0}) { return loop_.run(deadline); }
+
+  struct Stats {
+    std::uint64_t transmitted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t queue_dropped = 0;  ///< tail drops at full transmit queues
+    std::uint64_t dead_faced = 0;  ///< sent on an unconnected face
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Optional wiretap invoked on every delivered packet (tracing).
+  using Tap = std::function<void(NodeId from, NodeId to, FaceId ingress,
+                                 std::span<const std::uint8_t>, SimTime)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+ private:
+  struct HalfLink {
+    NodeId peer_node = 0;
+    FaceId peer_face = 0;
+    LinkParams params;
+    bool connected = false;
+    SimTime busy_until = 0;  ///< serialization: in-order, back-to-back
+  };
+
+  HalfLink* half(NodeId node, FaceId face);
+
+  EventLoop loop_;
+  std::vector<Node*> nodes_;
+  // faces_[node][face] -> half link.
+  std::vector<std::vector<HalfLink>> faces_;
+  crypto::Xoshiro256 rng_;
+  Stats stats_;
+  Tap tap_;
+};
+
+}  // namespace dip::netsim

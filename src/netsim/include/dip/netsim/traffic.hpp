@@ -1,0 +1,108 @@
+// Traffic generators: constant-bit-rate, Poisson, and on/off sources.
+//
+// Generators attach to a HostNode and drive packets from a caller-supplied
+// factory on a simulated-time schedule. Used by the goodput benches and the
+// congestion/QoS experiments (the NetFence and CSFQ control loops need
+// realistic offered loads, not lockstep packet trains).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "dip/crypto/random.hpp"
+#include "dip/netsim/dip_node.hpp"
+
+namespace dip::netsim {
+
+/// Builds the next packet to send. Called once per transmission.
+using PacketFactory = std::function<PacketBytes()>;
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Begin emitting at now(); stops automatically at `stop_at` (absolute).
+  virtual void start(SimTime stop_at) = 0;
+
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_; }
+
+ protected:
+  TrafficSource(HostNode& node, FaceId face, PacketFactory factory)
+      : node_(node), face_(face), factory_(std::move(factory)) {}
+
+  void emit() {
+    PacketBytes packet = factory_();
+    bytes_ += packet.size();
+    ++sent_;
+    node_.send(face_, std::move(packet));
+  }
+
+  HostNode& node_;
+  FaceId face_;
+  PacketFactory factory_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Fixed inter-packet gap derived from rate and packet size.
+class CbrSource final : public TrafficSource {
+ public:
+  struct Config {
+    std::uint64_t rate_bytes_per_sec = 100'000;
+    std::size_t packet_size_hint = 512;  ///< used to derive the gap
+  };
+
+  CbrSource(HostNode& node, FaceId face, PacketFactory factory, Config config)
+      : TrafficSource(node, face, std::move(factory)), config_(config) {}
+
+  void start(SimTime stop_at) override;
+
+ private:
+  void tick(SimTime stop_at);
+  Config config_;
+};
+
+/// Exponentially distributed inter-arrival gaps (memoryless).
+class PoissonSource final : public TrafficSource {
+ public:
+  struct Config {
+    double mean_packets_per_sec = 1000.0;
+    std::uint64_t seed = 1;
+  };
+
+  PoissonSource(HostNode& node, FaceId face, PacketFactory factory, Config config)
+      : TrafficSource(node, face, std::move(factory)),
+        config_(config),
+        rng_(config.seed) {}
+
+  void start(SimTime stop_at) override;
+
+ private:
+  void tick(SimTime stop_at);
+  [[nodiscard]] SimDuration next_gap();
+  Config config_;
+  crypto::Xoshiro256 rng_;
+};
+
+/// Alternating burst (CBR at peak rate) and silence periods.
+class OnOffSource final : public TrafficSource {
+ public:
+  struct Config {
+    std::uint64_t peak_rate_bytes_per_sec = 1'000'000;
+    std::size_t packet_size_hint = 512;
+    SimDuration on_period = 10 * kMillisecond;
+    SimDuration off_period = 40 * kMillisecond;
+  };
+
+  OnOffSource(HostNode& node, FaceId face, PacketFactory factory, Config config)
+      : TrafficSource(node, face, std::move(factory)), config_(config) {}
+
+  void start(SimTime stop_at) override;
+
+ private:
+  void tick(SimTime stop_at, SimTime burst_end);
+  Config config_;
+};
+
+}  // namespace dip::netsim

@@ -1,0 +1,97 @@
+#include "dip/netsim/dip_node.hpp"
+
+#include "dip/core/ip.hpp"
+#include "dip/epic/epic.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/security/error_message.hpp"
+#include "dip/security/pass.hpp"
+#include "dip/telemetry/telemetry.hpp"
+#include "dip/xia/xia.hpp"
+
+namespace dip::netsim {
+
+std::shared_ptr<core::OpRegistry> make_default_registry() {
+  auto registry = std::make_shared<core::OpRegistry>();
+  registry->add(std::make_unique<core::Match32Op>());
+  registry->add(std::make_unique<core::Match128Op>());
+  registry->add(std::make_unique<core::SourceOp>());
+  registry->add(std::make_unique<ndn::FibOp>());
+  registry->add(std::make_unique<ndn::PitOp>());
+  registry->add(std::make_unique<opt::ParmOp>());
+  registry->add(std::make_unique<opt::MacOp>());
+  registry->add(std::make_unique<opt::MarkOp>());
+  registry->add(std::make_unique<xia::DagOp>());
+  registry->add(std::make_unique<xia::IntentOp>());
+  registry->add(std::make_unique<security::PassOp>());
+  registry->add(std::make_unique<epic::HvfOp>());
+  registry->add(std::make_unique<telemetry::TelemetryOp>());
+  return registry;
+}
+
+void DipRouterNode::on_packet(FaceId face, PacketBytes packet, SimTime now) {
+  const core::ProcessResult result = router_.process(packet, face, now);
+
+  switch (result.action) {
+    case core::Action::kForward: {
+      if (result.respond_from_cache) {
+        respond_from_cache(packet, face);
+        return;
+      }
+      // Replicate to every egress face (NDN data fan-out is >1).
+      for (std::size_t i = 0; i < result.egress.size(); ++i) {
+        if (i + 1 == result.egress.size()) {
+          network()->send(*this, result.egress[i], std::move(packet));
+        } else {
+          network()->send(*this, result.egress[i], packet);
+        }
+      }
+      return;
+    }
+    case core::Action::kDrop: {
+      ++drop_counts_[static_cast<std::size_t>(result.reason) % drop_counts_.size()];
+      return;
+    }
+    case core::Action::kError: {
+      ++drop_counts_[static_cast<std::size_t>(result.reason) % drop_counts_.size()];
+      emit_error(packet, result.offending_key, face);
+      return;
+    }
+  }
+}
+
+void DipRouterNode::emit_error(const PacketBytes& original, core::OpKey offending,
+                               FaceId ingress) {
+  // §2.4: notify the source through a mechanism similar to ICMP. The
+  // notification leaves through the face the offending packet arrived on —
+  // the reverse path, as ICMP would.
+  const auto header = core::DipHeader::parse(original);
+  if (!header) return;
+  auto notification =
+      security::make_fn_unsupported_packet(*header, offending, env().node_id);
+  if (!notification) return;  // no F_source: nobody to notify
+  network()->send(*this, ingress, std::move(*notification));
+}
+
+void DipRouterNode::respond_from_cache(const PacketBytes& interest, FaceId ingress) {
+  // Footnote 2: a caching node answers the interest itself. Synthesize the
+  // data packet from the content store and send it back out the ingress.
+  auto& store = env().content_store;
+  if (!store) return;
+
+  const auto header = core::DipHeader::parse(interest);
+  if (!header) return;
+  const auto name_code = ndn::extract_name_code(*header);
+  if (!name_code) return;
+  const auto payload = store->lookup(*name_code);
+  if (!payload) return;
+
+  const auto data_header =
+      ndn::make_data_header32(*name_code, core::NextHeader::kNone);
+  if (!data_header) return;
+  PacketBytes data = data_header->serialize();
+  data.insert(data.end(), payload->begin(), payload->end());
+  network()->send(*this, ingress, std::move(data));
+}
+
+}  // namespace dip::netsim

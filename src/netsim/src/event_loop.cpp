@@ -1,0 +1,24 @@
+#include "dip/netsim/event_loop.hpp"
+
+namespace dip::netsim {
+
+void EventLoop::schedule_at(SimTime at, Callback fn) {
+  queue_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventLoop::run(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the callback after pop bookkeeping.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.fn();
+    ++executed;
+  }
+  if (queue_.empty() && now_ < deadline && deadline != ~SimTime{0}) now_ = deadline;
+  return executed;
+}
+
+}  // namespace dip::netsim

@@ -1,0 +1,82 @@
+#include "dip/netsim/network.hpp"
+
+#include <cassert>
+
+namespace dip::netsim {
+
+NodeId Network::add_node(Node& node) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  node.id_ = id;
+  node.network_ = this;
+  nodes_.push_back(&node);
+  faces_.emplace_back();
+  return id;
+}
+
+std::pair<FaceId, FaceId> Network::connect(Node& a, Node& b, LinkParams params) {
+  assert(a.network_ == this && b.network_ == this);
+  auto& fa = faces_[a.id()];
+  auto& fb = faces_[b.id()];
+  const auto face_a = static_cast<FaceId>(fa.size());
+  const auto face_b = static_cast<FaceId>(fb.size());
+  fa.push_back(HalfLink{b.id(), face_b, params, true, 0});
+  fb.push_back(HalfLink{a.id(), face_a, params, true, 0});
+  return {face_a, face_b};
+}
+
+Network::HalfLink* Network::half(NodeId node, FaceId face) {
+  if (node >= faces_.size() || face >= faces_[node].size()) return nullptr;
+  HalfLink& h = faces_[node][face];
+  return h.connected ? &h : nullptr;
+}
+
+std::optional<std::pair<NodeId, FaceId>> Network::peer_of(const Node& node,
+                                                          FaceId face) const {
+  if (node.id() >= faces_.size() || face >= faces_[node.id()].size()) {
+    return std::nullopt;
+  }
+  const HalfLink& h = faces_[node.id()][face];
+  if (!h.connected) return std::nullopt;
+  return std::make_pair(h.peer_node, h.peer_face);
+}
+
+void Network::send(const Node& from, FaceId face, PacketBytes packet) {
+  HalfLink* link = half(from.id(), face);
+  if (link == nullptr) {
+    ++stats_.dead_faced;
+    return;
+  }
+  ++stats_.transmitted;
+  stats_.bytes += packet.size();
+
+  if (link->params.loss_rate > 0 && rng_.uniform() < link->params.loss_rate) {
+    ++stats_.lost;
+    return;
+  }
+
+  // Serialization: the face transmits packets back to back, in order.
+  const SimDuration tx_time =
+      link->params.bandwidth_bps == 0
+          ? 0
+          : (packet.size() * 8 * kSecond) / link->params.bandwidth_bps;
+  const SimTime start = std::max(loop_.now(), link->busy_until);
+  if (link->params.max_queue_delay != 0 &&
+      start - loop_.now() > link->params.max_queue_delay) {
+    ++stats_.queue_dropped;  // finite buffer: tail drop
+    return;
+  }
+  const SimTime arrive = start + tx_time + link->params.latency;
+  link->busy_until = start + tx_time;
+
+  const NodeId to_node = link->peer_node;
+  const FaceId to_face = link->peer_face;
+  const NodeId from_node = from.id();
+  loop_.schedule_at(arrive, [this, from_node, to_node, to_face,
+                             packet = std::move(packet)]() mutable {
+    ++stats_.delivered;
+    if (tap_) tap_(from_node, to_node, to_face, packet, loop_.now());
+    nodes_[to_node]->on_packet(to_face, std::move(packet), loop_.now());
+  });
+}
+
+}  // namespace dip::netsim

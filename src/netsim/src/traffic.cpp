@@ -1,0 +1,67 @@
+#include "dip/netsim/traffic.hpp"
+
+#include <cmath>
+
+namespace dip::netsim {
+
+namespace {
+SimDuration gap_for(std::uint64_t rate_bytes_per_sec, std::size_t packet_size) {
+  if (rate_bytes_per_sec == 0) return kSecond;  // degenerate: 1 pkt/s
+  return std::max<SimDuration>(
+      1, packet_size * kSecond / rate_bytes_per_sec);
+}
+}  // namespace
+
+void CbrSource::start(SimTime stop_at) { tick(stop_at); }
+
+void CbrSource::tick(SimTime stop_at) {
+  EventLoop& loop = node_.network()->loop();
+  if (loop.now() >= stop_at) return;
+  emit();
+  loop.schedule_in(gap_for(config_.rate_bytes_per_sec, config_.packet_size_hint),
+                   [this, stop_at] { tick(stop_at); });
+}
+
+void PoissonSource::start(SimTime stop_at) {
+  node_.network()->loop().schedule_in(next_gap(), [this, stop_at] { tick(stop_at); });
+}
+
+void PoissonSource::tick(SimTime stop_at) {
+  EventLoop& loop = node_.network()->loop();
+  if (loop.now() >= stop_at) return;
+  emit();
+  loop.schedule_in(next_gap(), [this, stop_at] { tick(stop_at); });
+}
+
+SimDuration PoissonSource::next_gap() {
+  // Inverse-CDF sampling of Exp(lambda); clamp u away from 0.
+  const double u = std::max(rng_.uniform(), 1e-12);
+  const double gap_sec = -std::log(u) / std::max(config_.mean_packets_per_sec, 1e-9);
+  return std::max<SimDuration>(1, static_cast<SimDuration>(gap_sec * kSecond));
+}
+
+void OnOffSource::start(SimTime stop_at) {
+  const SimTime burst_end = node_.network()->loop().now() + config_.on_period;
+  tick(stop_at, burst_end);
+}
+
+void OnOffSource::tick(SimTime stop_at, SimTime burst_end) {
+  EventLoop& loop = node_.network()->loop();
+  if (loop.now() >= stop_at) return;
+
+  if (loop.now() >= burst_end) {
+    // Silence, then a fresh burst.
+    loop.schedule_in(config_.off_period, [this, stop_at] {
+      const SimTime next_burst_end = node_.network()->loop().now() + config_.on_period;
+      tick(stop_at, next_burst_end);
+    });
+    return;
+  }
+
+  emit();
+  loop.schedule_in(
+      gap_for(config_.peak_rate_bytes_per_sec, config_.packet_size_hint),
+      [this, stop_at, burst_end] { tick(stop_at, burst_end); });
+}
+
+}  // namespace dip::netsim

@@ -1,0 +1,45 @@
+// OPT locations-block layout (§3 "OPT").
+//
+// The paper pins the OPT FN triples as:
+//   F_parm : (loc 128, len 128, key 6)   — the session-ID field
+//   F_MAC  : (loc 0,   len 416, key 7)   — everything up to and incl. PVF
+//   F_mark : (loc 288, len 128, key 8)   — the PVF field
+//   F_ver  : (loc 0,   len 544, key 9)   — the whole block (host-tagged)
+//
+// which fixes the 544-bit (68-byte) block layout:
+//
+//   bits [  0,128)  DataHash   — CMAC over the payload, keyed by session ID
+//   bits [128,256)  SessionID  — the OPT flow tag (footnote 3)
+//   bits [256,288)  Timestamp  — coarse freshness (seconds)
+//   bits [288,416)  PVF        — path verification field (chained MAC)
+//   bits [416,544)  OPV        — accumulated per-hop verification (XOR of
+//                                every hop's MAC)
+#pragma once
+
+#include <cstdint>
+
+#include "dip/bytes/bitfield.hpp"
+
+namespace dip::opt {
+
+inline constexpr std::size_t kBlockBytes = 68;  // 544 bits
+
+inline constexpr bytes::BitRange kDataHash{0, 128};
+inline constexpr bytes::BitRange kSessionId{128, 128};
+inline constexpr bytes::BitRange kTimestamp{256, 32};
+inline constexpr bytes::BitRange kPvf{288, 128};
+inline constexpr bytes::BitRange kOpv{416, 128};
+
+/// F_MAC coverage: DataHash | SessionID | Timestamp | PVF (52 bytes).
+inline constexpr bytes::BitRange kMacCoverage{0, 416};
+/// F_ver coverage: the whole block.
+inline constexpr bytes::BitRange kVerCoverage{0, 544};
+
+/// Byte offsets (everything is byte-aligned by construction).
+inline constexpr std::size_t kDataHashOffset = 0;
+inline constexpr std::size_t kSessionIdOffset = 16;
+inline constexpr std::size_t kTimestampOffset = 32;
+inline constexpr std::size_t kPvfOffset = 36;
+inline constexpr std::size_t kOpvOffset = 52;
+
+}  // namespace dip::opt

@@ -1,0 +1,101 @@
+// OPT realized with DIP (§3 "OPT"): lightweight source authentication and
+// path validation in the style of Kim et al., SIGCOMM 2014.
+//
+// Per-packet chain:
+//   source:   DataHash = CMAC_sid(payload)
+//             PVF_0    = MAC_{K_D}(DataHash)
+//             OPV_0    = 0
+//   router i: F_parm — K_i = PRF_{secret_i}(SessionID)        (key 6)
+//             F_MAC  — m_i = MAC_{K_i}(block[0..52))          (key 7)
+//                      (covers DataHash|SessionID|Timestamp|PVF_{i-1})
+//             F_mark — PVF_i = m_i;  OPV_i = OPV_{i-1} ^ m_i  (key 8)
+//   dest:     F_ver  — recompute the whole chain from the negotiated keys
+//             and compare PVF_n and OPV_n                      (key 9, host)
+//
+// A forged source fails at PVF_0 (needs K_D); a path deviation fails at the
+// first router whose key the verifier reconstruction disagrees with.
+#pragma once
+
+#include <span>
+
+#include "dip/core/builder.hpp"
+#include "dip/core/op_module.hpp"
+#include "dip/opt/layout.hpp"
+#include "dip/opt/session.hpp"
+
+namespace dip::opt {
+
+/// F_parm (key 6): derive the dynamic key from the SessionID target field
+/// and the node secret; stash it in the packet scratch for F_MAC.
+class ParmOp final : public core::OpModule {
+ public:
+  [[nodiscard]] core::OpKey key() const noexcept override { return core::OpKey::kParm; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 2; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+};
+
+/// F_MAC (key 7): MAC the target field (the 416-bit coverage) under the
+/// dynamic key from scratch; leave the tag in scratch for F_mark.
+class MacOp final : public core::OpModule {
+ public:
+  [[nodiscard]] core::OpKey key() const noexcept override { return core::OpKey::kMac; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 8; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+};
+
+/// F_mark (key 8): write the tag into the PVF target field and fold it into
+/// the OPV accumulator.
+class MarkOp final : public core::OpModule {
+ public:
+  [[nodiscard]] core::OpKey key() const noexcept override { return core::OpKey::kMark; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 2; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+};
+
+/// Build the 68-byte OPT locations block a source emits.
+[[nodiscard]] std::array<std::uint8_t, kBlockBytes> make_source_block(
+    const Session& session, std::span<const std::uint8_t> payload,
+    std::uint32_t timestamp);
+
+/// The four OPT FN triples exactly as the paper writes them (§3).
+[[nodiscard]] std::vector<core::FnTriple> opt_fn_triples();
+
+/// Compose a standalone OPT header. Wire size: 6 + 4*6 + 68 = 98 bytes.
+[[nodiscard]] bytes::Result<core::DipHeader> make_opt_header(
+    const Session& session, std::span<const std::uint8_t> payload,
+    std::uint32_t timestamp, core::NextHeader next = core::NextHeader::kNone,
+    std::uint8_t hop_limit = 64);
+
+/// Compose an NDN+OPT header (§3 "NDN+OPT"): the NDN name FN (F_FIB on
+/// interests, F_PIT on data) plus the OPT chain over a trailing OPT block.
+/// Wire size: 6 + 5*6 + 4 + 68 = 108 bytes.
+[[nodiscard]] bytes::Result<core::DipHeader> make_ndn_opt_header(
+    std::uint32_t name_code, bool interest, const Session& session,
+    std::span<const std::uint8_t> payload, std::uint32_t timestamp,
+    core::NextHeader next = core::NextHeader::kNone, std::uint8_t hop_limit = 64);
+
+/// Destination-side verification outcomes.
+enum class VerifyResult : std::uint8_t {
+  kOk,
+  kBadDataHash,   ///< payload does not match DataHash (content tampered)
+  kBadSession,    ///< block's session ID is not this session
+  kBadPvf,        ///< PVF chain mismatch (path deviated or tags forged)
+  kBadOpv,        ///< OPV accumulator mismatch (a hop was skipped/replayed)
+  kStale,         ///< timestamp outside the freshness window
+  kMalformed,
+};
+
+[[nodiscard]] std::string_view to_string(VerifyResult r) noexcept;
+
+/// F_ver, executed by the destination host: recompute the chain from the
+/// negotiated session keys and the received payload.
+/// `now_seconds`/`freshness_window` gate the timestamp; a window of 0
+/// disables the check.
+[[nodiscard]] VerifyResult verify_packet(const Session& session,
+                                         std::span<const std::uint8_t> locations,
+                                         std::span<const std::uint8_t> payload,
+                                         std::uint32_t now_seconds = 0,
+                                         std::uint32_t freshness_window = 0,
+                                         std::size_t block_offset = 0);
+
+}  // namespace dip::opt

@@ -1,0 +1,42 @@
+// OPT session setup (control plane).
+//
+// OPT's key negotiation (paper footnote 3) gives the source the dynamic
+// keys of every on-path router and the destination, all derived from the
+// session ID. We reproduce the derivation exactly as the data plane performs
+// it per packet: K_i = PRF_{secret_i}(session_id) — see crypto::DrKey.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dip/bytes/time.hpp"
+#include "dip/crypto/drkey.hpp"
+#include "dip/crypto/mac.hpp"
+
+namespace dip::opt {
+
+/// Everything the source/destination learn during session negotiation.
+struct Session {
+  crypto::SessionId id{};
+  /// Dynamic keys of the on-path routers, in path order.
+  std::vector<crypto::Block> router_keys;
+  /// The destination's dynamic key (keys PVF_0).
+  crypto::Block destination_key{};
+  /// MAC primitive negotiated for this session (2EM in the paper).
+  crypto::MacKind mac_kind = crypto::MacKind::kEm2;
+};
+
+/// Simulate key negotiation over a concrete path: derive every node's
+/// dynamic key from its local secret and the session ID.
+[[nodiscard]] Session negotiate_session(const crypto::SessionId& id,
+                                        std::span<const crypto::Block> router_secrets,
+                                        const crypto::Block& destination_secret,
+                                        crypto::MacKind mac_kind = crypto::MacKind::kEm2);
+
+/// CMAC over `payload` keyed by the session ID — the DataHash both ends can
+/// compute independently.
+[[nodiscard]] crypto::Block data_hash(const crypto::SessionId& id,
+                                      std::span<const std::uint8_t> payload,
+                                      crypto::MacKind mac_kind = crypto::MacKind::kEm2);
+
+}  // namespace dip::opt

@@ -1,0 +1,23 @@
+#include "dip/opt/session.hpp"
+
+namespace dip::opt {
+
+Session negotiate_session(const crypto::SessionId& id,
+                          std::span<const crypto::Block> router_secrets,
+                          const crypto::Block& destination_secret,
+                          crypto::MacKind mac_kind) {
+  Session s;
+  s.id = id;
+  s.router_keys = crypto::derive_path_keys(router_secrets, id);
+  s.destination_key = crypto::DrKey(destination_secret).derive(id);
+  s.mac_kind = mac_kind;
+  return s;
+}
+
+crypto::Block data_hash(const crypto::SessionId& id,
+                        std::span<const std::uint8_t> payload,
+                        crypto::MacKind mac_kind) {
+  return crypto::make_mac(mac_kind, id)->compute(payload);
+}
+
+}  // namespace dip::opt

@@ -1,0 +1,41 @@
+// Abstract cycle-cost model for a PISA switch pipeline.
+//
+// The paper evaluates on a Barefoot Tofino (§4.1); we have no switch, so the
+// pisa module reproduces the *relative* costs that shape Figure 2: parsing,
+// match-action lookups, ALU operations, cryptographic permutation rounds,
+// and — crucially — the resubmission penalty that made AES unattractive and
+// 2EM the MAC of choice ("2EM ... can be completed without resubmitting the
+// packet, while the AES needs to resubmit the packet").
+//
+// Units are abstract "cycles"; only ratios matter for reproducing the
+// paper's shape.
+#pragma once
+
+#include <cstdint>
+
+namespace dip::pisa {
+
+using Cycles = std::uint64_t;
+
+struct CostModel {
+  Cycles parser_state = 1;        ///< one parser state traversal
+  Cycles extract_per_byte = 0;    ///< extraction is free on real hardware
+  Cycles table_exact = 1;         ///< exact-match lookup
+  Cycles table_lpm = 2;           ///< LPM (TCAM/ALPM) lookup
+  Cycles table_ternary = 2;       ///< ternary lookup
+  Cycles alu_op = 1;              ///< add/xor/shift on a PHV container
+  Cycles crypto_round = 4;        ///< one public-permutation round (2EM half)
+  Cycles pipeline_transit = 10;   ///< fixed ingress->egress latency
+  Cycles resubmit_penalty = 0;    ///< added per resubmission *on top of* a
+                                  ///< second full transit (see resubmit())
+
+  /// Total cost of re-injecting a packet (AES-style MAC on Tofino).
+  [[nodiscard]] Cycles resubmit() const noexcept {
+    return pipeline_transit + resubmit_penalty;
+  }
+};
+
+/// A conservative Tofino-like default.
+[[nodiscard]] constexpr CostModel default_cost_model() noexcept { return {}; }
+
+}  // namespace dip::pisa

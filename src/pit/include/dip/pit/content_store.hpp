@@ -1,0 +1,60 @@
+// Content Store — LRU cache of named data.
+//
+// Paper footnote 2: the prototype router has no cache, but "the FIB matching
+// module can be slightly modified to first match the local content store and
+// then match the FIB". This module is that extension: a bounded LRU keyed by
+// name code, consulted by F_FIB before the FIB proper when caching is
+// enabled on a node.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dip::pit {
+
+class ContentStore {
+ public:
+  explicit ContentStore(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Cache `payload` under `name_code`, evicting the LRU entry if full.
+  /// A capacity of zero disables the store.
+  void insert(std::uint64_t name_code, std::span<const std::uint8_t> payload);
+
+  /// Look up and refresh recency. Returns a copy of the payload.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup(std::uint64_t name_code);
+
+  /// Non-refreshing probe.
+  [[nodiscard]] bool contains(std::uint64_t name_code) const {
+    return map_.contains(name_code);
+  }
+
+  /// Drop one entry (used by the §2.4 poisoning defense to purge bad data).
+  bool erase(std::uint64_t name_code);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Cache effectiveness counters (used by bench A7 and examples).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Item {
+    std::uint64_t name_code;
+    std::vector<std::uint8_t> payload;
+  };
+
+  std::size_t capacity_;
+  std::list<Item> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Item>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dip::pit

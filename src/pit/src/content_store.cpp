@@ -1,0 +1,44 @@
+#include "dip/pit/content_store.hpp"
+
+namespace dip::pit {
+
+void ContentStore::insert(std::uint64_t name_code, std::span<const std::uint8_t> payload) {
+  if (capacity_ == 0) return;
+  if (const auto it = map_.find(name_code); it != map_.end()) {
+    it->second->payload.assign(payload.begin(), payload.end());
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().name_code);
+    lru_.pop_back();
+  }
+  lru_.push_front(Item{name_code, {payload.begin(), payload.end()}});
+  map_.emplace(name_code, lru_.begin());
+}
+
+std::optional<std::vector<std::uint8_t>> ContentStore::lookup(std::uint64_t name_code) {
+  const auto it = map_.find(name_code);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->payload;
+}
+
+bool ContentStore::erase(std::uint64_t name_code) {
+  const auto it = map_.find(name_code);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void ContentStore::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace dip::pit

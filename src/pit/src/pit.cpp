@@ -1,0 +1,75 @@
+#include "dip/pit/pit.hpp"
+
+#include <algorithm>
+
+namespace dip::pit {
+
+std::optional<InterestResult> Pit::record_interest(std::uint64_t name_code, FaceId face,
+                                                   SimTime now) {
+  auto it = entries_.find(name_code);
+  if (it != entries_.end() && it->second.expiry <= now) {
+    // Stale entry: treat as absent.
+    entries_.erase(it);
+    it = entries_.end();
+  }
+
+  if (it == entries_.end()) {
+    if (entries_.size() >= config_.max_entries) {
+      // §2.4: hard per-node state limit; refuse rather than grow unbounded.
+      expire(now);
+      if (entries_.size() >= config_.max_entries) return std::nullopt;
+    }
+    Entry entry;
+    entry.in_faces.push_back(face);
+    entry.expiry = now + config_.entry_lifetime;
+    entries_.emplace(name_code, std::move(entry));
+    expiry_heap_.push({now + config_.entry_lifetime, name_code});
+    return InterestResult::kCreated;
+  }
+
+  Entry& entry = it->second;
+  if (std::find(entry.in_faces.begin(), entry.in_faces.end(), face) !=
+      entry.in_faces.end()) {
+    return InterestResult::kDuplicate;
+  }
+  entry.in_faces.push_back(face);
+  // Refresh lifetime: any aggregated interest keeps the entry alive.
+  entry.expiry = now + config_.entry_lifetime;
+  expiry_heap_.push({entry.expiry, name_code});
+  return InterestResult::kAggregated;
+}
+
+std::vector<FaceId> Pit::match_data(std::uint64_t name_code, SimTime now) {
+  auto it = entries_.find(name_code);
+  if (it == entries_.end() || it->second.expiry <= now) {
+    if (it != entries_.end()) entries_.erase(it);
+    return {};
+  }
+  std::vector<FaceId> faces = std::move(it->second.in_faces);
+  entries_.erase(it);
+  return faces;
+}
+
+bool Pit::has_entry(std::uint64_t name_code, SimTime now) const {
+  const auto it = entries_.find(name_code);
+  return it != entries_.end() && it->second.expiry > now;
+}
+
+std::size_t Pit::expire(SimTime now) {
+  std::size_t removed = 0;
+  while (!expiry_heap_.empty() && expiry_heap_.top().expiry <= now) {
+    const HeapItem item = expiry_heap_.top();
+    expiry_heap_.pop();
+    const auto it = entries_.find(item.name_code);
+    // Lazy deletion: the heap may hold stale items for refreshed or
+    // already-consumed entries; only honor an exact expiry match.
+    if (it != entries_.end() && it->second.expiry == item.expiry &&
+        it->second.expiry <= now) {
+      entries_.erase(it);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace dip::pit

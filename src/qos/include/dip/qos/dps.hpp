@@ -1,0 +1,119 @@
+// F_dps — Dynamic Packet State for stateless guaranteed services (§5).
+//
+// The paper lists "implementing stateless guaranteed services [29, 30]"
+// (Stoica & Zhang's CSFQ / dynamic packet state) among the opportunities
+// DIP opens. The design: *edge* routers keep per-flow state and label each
+// packet with its flow's arrival rate; *core* routers stay stateless and
+// drop probabilistically with
+//
+//     p = max(0, 1 - alpha / label)
+//
+// where alpha is the core link's fair-share rate, estimated from aggregate
+// arrivals only. The label is the FN target field:
+//
+//   [0,4)  rate label, bytes/sec (big-endian)
+//   [4,8)  flow id (edge bookkeeping; core ignores it)
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dip/bytes/time.hpp"
+#include "dip/core/builder.hpp"
+#include "dip/core/op_module.hpp"
+#include "dip/crypto/random.hpp"
+
+namespace dip::qos {
+
+inline constexpr std::size_t kDpsFieldBytes = 8;
+
+/// Per-flow exponential-average rate estimation at the edge (the only
+/// stateful piece, as in CSFQ).
+class EdgeLabeler {
+ public:
+  struct Config {
+    /// Averaging constant K (ns): larger = smoother estimates.
+    SimDuration k = 100 * kMillisecond;
+  };
+
+  EdgeLabeler() : EdgeLabeler(Config{}) {}
+  explicit EdgeLabeler(const Config& config) : config_(config) {}
+
+  /// Record a packet of `size` bytes for `flow` at `now`; returns the
+  /// updated rate estimate (the label), bytes/sec.
+  std::uint32_t label(std::uint32_t flow, std::size_t size, SimTime now);
+
+  [[nodiscard]] std::size_t tracked_flows() const noexcept { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    double rate = 0;  // bytes/sec
+    SimTime last = 0;
+  };
+  Config config_;
+  std::unordered_map<std::uint32_t, FlowState> flows_;
+};
+
+/// Core fair-share estimator: aggregate-only, windowed.
+///
+/// CSFQ's iterative update drives the *accepted* rate F toward capacity C:
+/// when the link is congested (arrivals A > C), alpha_new = alpha * C / F.
+/// If policing accepted too much (F > C) alpha shrinks; too little (F < C)
+/// it grows — equilibrium at F = C. When uncongested, alpha rises to the
+/// largest label observed so nobody is dropped.
+class FairShareEstimator {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes_per_sec = 1'000'000;
+    SimDuration window = 20 * kMillisecond;
+  };
+
+  FairShareEstimator() : FairShareEstimator(Config{}) {}
+  explicit FairShareEstimator(const Config& config)
+      : config_(config), alpha_(static_cast<double>(config.capacity_bytes_per_sec)) {}
+
+  /// Record an arrival (pre-drop); updates alpha at window boundaries.
+  void on_arrival(std::size_t bytes, std::uint32_t label, SimTime now);
+
+  /// Record bytes that survived policing (post-drop).
+  void on_accept(std::size_t bytes) noexcept { accepted_bytes_ += bytes; }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  Config config_;
+  double alpha_;
+  SimTime window_start_ = 0;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t accepted_bytes_ = 0;
+  std::uint32_t max_label_ = 0;
+};
+
+/// F_dps (key 15). Stateful per core router: use per-node registries.
+class DpsOp final : public core::OpModule {
+ public:
+  explicit DpsOp(FairShareEstimator::Config config, std::uint64_t seed = 1)
+      : estimator_(config), rng_(seed) {}
+
+  [[nodiscard]] core::OpKey key() const noexcept override { return core::OpKey::kDps; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 3; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+
+  [[nodiscard]] const FairShareEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  FairShareEstimator estimator_;
+  crypto::Xoshiro256 rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Edge side: append a labeled F_dps field for `flow`.
+void add_dps_fn(core::HeaderBuilder& builder, std::uint32_t flow, std::uint32_t label);
+
+/// Read the label back (tests/receivers).
+[[nodiscard]] std::uint32_t read_dps_label(std::span<const std::uint8_t> field) noexcept;
+
+}  // namespace dip::qos

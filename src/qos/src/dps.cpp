@@ -1,0 +1,94 @@
+#include "dip/qos/dps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dip::qos {
+
+std::uint32_t EdgeLabeler::label(std::uint32_t flow, std::size_t size, SimTime now) {
+  FlowState& state = flows_[flow];
+  if (state.last == 0 && state.rate == 0) {
+    // First packet: bootstrap the estimate with something sane.
+    state.rate = static_cast<double>(size) * 10.0;
+    state.last = now;
+    return static_cast<std::uint32_t>(state.rate);
+  }
+  const double gap_ns = static_cast<double>(now > state.last ? now - state.last : 1);
+  // Classic CSFQ exponential average: r = (1 - e^{-T/K}) * size/T + e^{-T/K} * r.
+  const double t_sec = gap_ns / static_cast<double>(kSecond);
+  const double k_sec = static_cast<double>(config_.k) / static_cast<double>(kSecond);
+  const double weight = std::exp(-t_sec / k_sec);
+  const double instant = static_cast<double>(size) / std::max(t_sec, 1e-9);
+  state.rate = (1.0 - weight) * instant + weight * state.rate;
+  state.last = now;
+  return static_cast<std::uint32_t>(std::min(state.rate, 4e9));
+}
+
+void FairShareEstimator::on_arrival(std::size_t bytes, std::uint32_t label,
+                                    SimTime now) {
+  max_label_ = std::max(max_label_, label);
+  if (now - window_start_ >= config_.window) {
+    const std::uint64_t window_ns = std::max<std::uint64_t>(config_.window, 1);
+    const auto to_rate = [&](std::uint64_t b) {
+      return static_cast<double>(b) * static_cast<double>(kSecond) /
+             static_cast<double>(window_ns);
+    };
+    const double arrival = to_rate(window_bytes_);
+    const double accepted = to_rate(accepted_bytes_);
+    const auto capacity = static_cast<double>(config_.capacity_bytes_per_sec);
+    if (arrival > capacity) {
+      // Congested: steer the *accepted* rate toward capacity (CSFQ's
+      // iterative update, bounded to avoid wild swings on empty windows).
+      const double ratio =
+          std::clamp(capacity / std::max(accepted, 1.0), 0.1, 10.0);
+      alpha_ = std::clamp(alpha_ * ratio, 1.0, 4e9);
+    } else {
+      // Uncongested: no flow needs limiting; lift alpha to the largest
+      // label seen so p = 0 for everyone.
+      alpha_ = std::max(alpha_, static_cast<double>(max_label_));
+    }
+    window_start_ = now;
+    window_bytes_ = 0;
+    accepted_bytes_ = 0;
+    max_label_ = 0;
+  }
+  window_bytes_ += bytes;
+}
+
+bytes::Status DpsOp::execute(core::OpContext& ctx) {
+  const auto field = ctx.target_bytes();
+  if (field.size() < kDpsFieldBytes) return bytes::Unexpected{bytes::Error::kMalformed};
+
+  const std::uint32_t label = read_dps_label(field);
+  const std::size_t size = ctx.locations.size() + ctx.payload.size();
+  estimator_.on_arrival(size, label, ctx.now);
+
+  if (label > 0) {
+    const double p = 1.0 - estimator_.alpha() / static_cast<double>(label);
+    if (p > 0 && rng_.uniform() < p) {
+      ++dropped_;
+      ctx.result->drop(core::DropReason::kRateExceeded);
+      return {};
+    }
+  }
+  estimator_.on_accept(size);
+  return {};
+}
+
+void add_dps_fn(core::HeaderBuilder& builder, std::uint32_t flow, std::uint32_t label) {
+  std::array<std::uint8_t, kDpsFieldBytes> field{};
+  for (int i = 0; i < 4; ++i) {
+    field[i] = static_cast<std::uint8_t>(label >> (8 * (3 - i)));
+    field[4 + i] = static_cast<std::uint8_t>(flow >> (8 * (3 - i)));
+  }
+  builder.add_router_fn(core::OpKey::kDps, field);
+}
+
+std::uint32_t read_dps_label(std::span<const std::uint8_t> field) noexcept {
+  if (field.size() < 4) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | field[i];
+  return v;
+}
+
+}  // namespace dip::qos

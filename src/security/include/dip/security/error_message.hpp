@@ -1,0 +1,45 @@
+// FN-unsupported notification — the ICMP-like mechanism of §2.4.
+//
+// "If this FN requires all on-path ASes to participate (e.g., the FN
+// designed for path authentication), the router should return an FN
+// unsupported message to notify the source through a mechanism similar to
+// ICMP."
+//
+// The notification is itself a DIP packet: a DIP-32/128 forwarding header
+// addressed back to the original source (located via the original packet's
+// F_source triple), carrying a small error payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+#include "dip/core/header.hpp"
+
+namespace dip::security {
+
+struct FnUnsupportedError {
+  static constexpr std::size_t kWireSize = 4;
+
+  core::OpKey offending_key{};
+  std::uint32_t reporter_node = 0;  ///< 16-bit on the wire
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static bytes::Result<FnUnsupportedError> parse(
+      std::span<const std::uint8_t> data);
+};
+
+/// Build the notification packet for `original` (a parsed DIP header whose
+/// processing failed at `offending_key`). Returns nullopt when the original
+/// carries no F_source triple of a supported width (32/128 bits) — then
+/// there is nobody to notify and the packet is silently dropped.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> make_fn_unsupported_packet(
+    const core::DipHeader& original, core::OpKey offending_key,
+    std::uint32_t reporter_node);
+
+/// True iff a DIP header is an FN-unsupported notification.
+[[nodiscard]] bool is_fn_unsupported(const core::DipHeader& header) noexcept;
+
+}  // namespace dip::security

@@ -1,0 +1,38 @@
+// F_pass — source-label verification (§2.4 "Security").
+//
+// "An attacker can use both F_FIB and F_PIT in one packet and carry
+// maliciously constructed data to pollute the node's content cache. Nodes
+// can enable source label verification designs (e.g., [15], implemented as
+// a new FN F_pass) to defend against this attack. Although enabling F_pass
+// all the time is expensive, DIP allows the network operators to
+// dynamically adjust security policies based on network conditions."
+//
+// Mechanism: the edge AS issues a 128-bit label = MAC_{pass_key}(payload)
+// to authorized producers; the F_pass FN's target field carries the label;
+// any AS router with enforce_pass on recomputes and compares. A poisoned
+// data packet (foreign payload, no valid label) fails and is dropped before
+// it can enter a content store — F_pass must precede F_PIT in the FN list.
+#pragma once
+
+#include <span>
+
+#include "dip/core/op_module.hpp"
+#include "dip/crypto/mac.hpp"
+
+namespace dip::security {
+
+/// F_pass (key 12).
+class PassOp final : public core::OpModule {
+ public:
+  [[nodiscard]] core::OpKey key() const noexcept override { return core::OpKey::kPass; }
+  /// Deliberately expensive (one MAC over the payload) — the §2.4 trade-off.
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 6; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+};
+
+/// Control plane: the edge AS issues a label binding `payload` to this AS.
+[[nodiscard]] crypto::Block issue_label(const crypto::Block& pass_key,
+                                        std::span<const std::uint8_t> payload,
+                                        crypto::MacKind kind = crypto::MacKind::kEm2);
+
+}  // namespace dip::security

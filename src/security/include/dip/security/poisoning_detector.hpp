@@ -1,0 +1,46 @@
+// Content-poisoning detector — the §2.4 "enable F_pass on the fly" trigger.
+//
+// Heuristic: legitimate NDN content is immutable per name; if data packets
+// for the same name code keep arriving with *different* payload digests,
+// someone is racing bogus content into caches. The detector tracks recent
+// (name, digest) observations and raises an alarm when the number of
+// distinct digests for one name crosses a threshold, at which point the
+// operator flips env.enforce_pass on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace dip::security {
+
+class PoisoningDetector {
+ public:
+  struct Config {
+    std::size_t max_digests_per_name = 2;  ///< alarm above this
+    std::size_t max_tracked_names = 4096;  ///< memory bound
+  };
+
+  PoisoningDetector() : PoisoningDetector(Config{}) {}
+  explicit PoisoningDetector(const Config& config) : config_(config) {}
+
+  /// Record a data packet; returns true when this observation trips the
+  /// alarm for its name.
+  bool observe(std::uint64_t name_code, std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] bool alarmed() const noexcept { return alarmed_; }
+  void reset() noexcept {
+    alarmed_ = false;
+    digests_.clear();
+  }
+
+  [[nodiscard]] std::size_t tracked_names() const noexcept { return digests_.size(); }
+
+ private:
+  Config config_;
+  bool alarmed_ = false;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> digests_;
+};
+
+}  // namespace dip::security

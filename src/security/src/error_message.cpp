@@ -1,0 +1,66 @@
+#include "dip/security/error_message.hpp"
+
+#include "dip/core/ip.hpp"
+
+namespace dip::security {
+
+std::vector<std::uint8_t> FnUnsupportedError::serialize() const {
+  return {
+      static_cast<std::uint8_t>(static_cast<std::uint16_t>(offending_key) >> 8),
+      static_cast<std::uint8_t>(static_cast<std::uint16_t>(offending_key)),
+      static_cast<std::uint8_t>(reporter_node >> 8),
+      static_cast<std::uint8_t>(reporter_node),
+  };
+}
+
+bytes::Result<FnUnsupportedError> FnUnsupportedError::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kWireSize) return bytes::Err(bytes::Error::kTruncated);
+  FnUnsupportedError e;
+  e.offending_key =
+      static_cast<core::OpKey>(static_cast<std::uint16_t>((data[0] << 8) | data[1]));
+  e.reporter_node = static_cast<std::uint32_t>((data[2] << 8) | data[3]);
+  return e;
+}
+
+std::optional<std::vector<std::uint8_t>> make_fn_unsupported_packet(
+    const core::DipHeader& original, core::OpKey offending_key,
+    std::uint32_t reporter_node) {
+  const auto source_field = core::find_source_field(original.fns);
+  if (!source_field) return std::nullopt;
+  if (!bytes::fits(*source_field, original.locations.size())) return std::nullopt;
+
+  // The notification swaps roles: the original source address becomes the
+  // destination. The reporter has no meaningful source of its own in this
+  // addressing family, so it echoes the same address (hosts recognize the
+  // packet by its kDipError next-header, not by its source).
+  bytes::Result<core::DipHeader> header = bytes::Err(bytes::Error::kMalformed);
+  if (source_field->bit_length == 32) {
+    fib::Ipv4Addr src;
+    if (auto st = bytes::extract_bits(original.locations, *source_field, src.bytes); !st) {
+      return std::nullopt;
+    }
+    header = core::make_dip32_header(src, src, core::NextHeader::kDipError);
+  } else if (source_field->bit_length == 128) {
+    fib::Ipv6Addr src;
+    if (auto st = bytes::extract_bits(original.locations, *source_field, src.bytes); !st) {
+      return std::nullopt;
+    }
+    header = core::make_dip128_header(src, src, core::NextHeader::kDipError);
+  } else {
+    return std::nullopt;  // exotic source widths: nobody to notify
+  }
+  if (!header) return std::nullopt;
+
+  const FnUnsupportedError error{offending_key, reporter_node};
+  std::vector<std::uint8_t> packet = header->serialize();
+  const std::vector<std::uint8_t> body = error.serialize();
+  packet.insert(packet.end(), body.begin(), body.end());
+  return packet;
+}
+
+bool is_fn_unsupported(const core::DipHeader& header) noexcept {
+  return header.basic.next_header == static_cast<std::uint8_t>(core::NextHeader::kDipError);
+}
+
+}  // namespace dip::security

@@ -1,0 +1,25 @@
+#include "dip/security/pass.hpp"
+
+namespace dip::security {
+
+bytes::Status PassOp::execute(core::OpContext& ctx) {
+  if (!ctx.env->enforce_pass) return {};  // policy off: free pass (§2.4)
+  if (ctx.field.bit_length != 128) return bytes::Unexpected{bytes::Error::kMalformed};
+
+  const auto label_bytes = ctx.target_bytes();
+  if (label_bytes.empty()) return bytes::Unexpected{bytes::Error::kMalformed};
+
+  const crypto::Block expected =
+      issue_label(ctx.env->pass_key, ctx.payload, ctx.env->mac_kind);
+  if (!crypto::block_equal_ct(expected, crypto::block_from(label_bytes))) {
+    ctx.result->drop(core::DropReason::kPolicyDenied);
+  }
+  return {};
+}
+
+crypto::Block issue_label(const crypto::Block& pass_key,
+                          std::span<const std::uint8_t> payload, crypto::MacKind kind) {
+  return crypto::make_mac(kind, pass_key)->compute(payload);
+}
+
+}  // namespace dip::security

@@ -1,0 +1,26 @@
+#include "dip/security/poisoning_detector.hpp"
+
+#include <algorithm>
+
+#include "dip/crypto/siphash.hpp"
+
+namespace dip::security {
+
+bool PoisoningDetector::observe(std::uint64_t name_code,
+                                std::span<const std::uint8_t> payload) {
+  if (digests_.size() >= config_.max_tracked_names && !digests_.contains(name_code)) {
+    return false;  // memory bound: stop tracking new names
+  }
+  const std::uint64_t digest = crypto::siphash24(crypto::process_sip_key(), payload);
+  auto& seen = digests_[name_code];
+  if (std::find(seen.begin(), seen.end(), digest) == seen.end()) {
+    seen.push_back(digest);
+  }
+  if (seen.size() > config_.max_digests_per_name) {
+    alarmed_ = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dip::security

@@ -1,0 +1,63 @@
+// F_int — in-band network telemetry as a Field Operation (§5 "Opportunities
+// with DIP": "efficient network telemetry").
+//
+// INT-style: the FN's target field is a record array the packet carries;
+// each on-path node appends one record. Layout of the target field:
+//
+//   count:8 | overflow:1 reserved:7 | record[count]:
+//     node_id:16 | ingress_face:16 | timestamp_lo:32 (ns, truncated)
+//
+// Record = 8 bytes. When the field is full the overflow bit is set and the
+// packet keeps forwarding — telemetry must never break delivery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dip/core/builder.hpp"
+#include "dip/core/op_module.hpp"
+
+namespace dip::telemetry {
+
+struct HopRecord {
+  static constexpr std::size_t kWireSize = 8;
+
+  std::uint16_t node_id = 0;
+  std::uint16_t ingress_face = 0;
+  std::uint32_t timestamp_lo = 0;
+
+  friend bool operator==(const HopRecord&, const HopRecord&) = default;
+};
+
+inline constexpr std::size_t kTelemetryHeaderBytes = 2;
+
+/// Bytes needed for a capacity of `max_hops` records.
+[[nodiscard]] constexpr std::size_t telemetry_field_bytes(std::size_t max_hops) noexcept {
+  return kTelemetryHeaderBytes + max_hops * HopRecord::kWireSize;
+}
+
+/// F_int (key 13).
+class TelemetryOp final : public core::OpModule {
+ public:
+  [[nodiscard]] core::OpKey key() const noexcept override {
+    return core::OpKey::kTelemetry;
+  }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 2; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+};
+
+struct TelemetryReport {
+  std::vector<HopRecord> hops;
+  bool overflowed = false;
+};
+
+/// Host side: decode the records out of the (received) telemetry field.
+[[nodiscard]] bytes::Result<TelemetryReport> read_telemetry(
+    std::span<const std::uint8_t> field);
+
+/// Append a telemetry field (capacity `max_hops`) and its F_int triple to a
+/// header under construction.
+void add_telemetry_fn(core::HeaderBuilder& builder, std::size_t max_hops);
+
+}  // namespace dip::telemetry

@@ -1,0 +1,61 @@
+#include "dip/telemetry/telemetry.hpp"
+
+namespace dip::telemetry {
+
+bytes::Status TelemetryOp::execute(core::OpContext& ctx) {
+  auto field = ctx.target_bytes();
+  if (field.size() < kTelemetryHeaderBytes) {
+    return bytes::Unexpected{bytes::Error::kMalformed};
+  }
+
+  const std::uint8_t count = field[0];
+  const std::size_t offset = kTelemetryHeaderBytes + count * HopRecord::kWireSize;
+  if (offset + HopRecord::kWireSize > field.size()) {
+    field[1] |= 0x80;  // overflow: record dropped, packet unharmed
+    return {};
+  }
+
+  const auto node = static_cast<std::uint16_t>(ctx.env->node_id);
+  const auto face = static_cast<std::uint16_t>(ctx.ingress);
+  const auto ts = static_cast<std::uint32_t>(ctx.now);
+  field[offset + 0] = static_cast<std::uint8_t>(node >> 8);
+  field[offset + 1] = static_cast<std::uint8_t>(node);
+  field[offset + 2] = static_cast<std::uint8_t>(face >> 8);
+  field[offset + 3] = static_cast<std::uint8_t>(face);
+  for (int i = 0; i < 4; ++i) {
+    field[offset + 4 + i] = static_cast<std::uint8_t>(ts >> (8 * (3 - i)));
+  }
+  field[0] = static_cast<std::uint8_t>(count + 1);
+  return {};
+}
+
+bytes::Result<TelemetryReport> read_telemetry(std::span<const std::uint8_t> field) {
+  if (field.size() < kTelemetryHeaderBytes) return bytes::Err(bytes::Error::kTruncated);
+
+  TelemetryReport report;
+  const std::uint8_t count = field[0];
+  report.overflowed = (field[1] & 0x80) != 0;
+  if (field.size() < kTelemetryHeaderBytes + count * HopRecord::kWireSize) {
+    return bytes::Err(bytes::Error::kTruncated);
+  }
+
+  for (std::uint8_t i = 0; i < count; ++i) {
+    const std::size_t at = kTelemetryHeaderBytes + i * HopRecord::kWireSize;
+    HopRecord r;
+    r.node_id = static_cast<std::uint16_t>((field[at] << 8) | field[at + 1]);
+    r.ingress_face = static_cast<std::uint16_t>((field[at + 2] << 8) | field[at + 3]);
+    r.timestamp_lo = 0;
+    for (int b = 0; b < 4; ++b) r.timestamp_lo = (r.timestamp_lo << 8) | field[at + 4 + b];
+    report.hops.push_back(r);
+  }
+  return report;
+}
+
+void add_telemetry_fn(core::HeaderBuilder& builder, std::size_t max_hops) {
+  const std::size_t bytes = telemetry_field_bytes(max_hops);
+  const std::uint16_t loc = builder.add_zero_location(bytes);
+  builder.add_fn(core::FnTriple::router(loc, static_cast<std::uint16_t>(bytes * 8),
+                                        core::OpKey::kTelemetry));
+}
+
+}  // namespace dip::telemetry

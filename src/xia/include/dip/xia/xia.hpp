@@ -1,0 +1,48 @@
+// XIA realized with DIP (§3 "XIA").
+//
+// "We use the F_DAG and F_intent FN modules to realize the complex packet
+// processing logic in XIA. We set the header of XIA in the FN locations and
+// use these two operation modules to parse the directed acyclic graph and
+// handle the intent."
+//
+// F_DAG performs fallback traversal: from the cursor node, try each
+// out-edge in priority order; the first edge whose target XID has a route
+// (or is local) is taken, the cursor advances (written back into the
+// packet), and the packet forwards. F_intent handles arrival at the intent:
+// CID intents probe the content store, SID/HID intents deliver locally.
+#pragma once
+
+#include "dip/core/builder.hpp"
+#include "dip/core/op_module.hpp"
+#include "dip/xia/dag.hpp"
+
+namespace dip::xia {
+
+/// F_DAG (key 10).
+class DagOp final : public core::OpModule {
+ public:
+  [[nodiscard]] core::OpKey key() const noexcept override { return core::OpKey::kDag; }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 4; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+};
+
+/// F_intent (key 11).
+class IntentOp final : public core::OpModule {
+ public:
+  [[nodiscard]] core::OpKey key() const noexcept override {
+    return core::OpKey::kIntent;
+  }
+  [[nodiscard]] std::uint32_t cost() const noexcept override { return 2; }
+  [[nodiscard]] bytes::Status execute(core::OpContext& ctx) override;
+};
+
+/// Compose an XIA-over-DIP header: the serialized DAG in the FN locations,
+/// F_DAG + F_intent triples covering it.
+[[nodiscard]] bytes::Result<core::DipHeader> make_xia_header(
+    const Dag& dag, core::NextHeader next = core::NextHeader::kNone,
+    std::uint8_t hop_limit = 64);
+
+/// Read back the DAG (with its current cursor) from a parsed DIP header.
+[[nodiscard]] bytes::Result<ParsedDag> extract_dag(const core::DipHeader& header);
+
+}  // namespace dip::xia

@@ -1,0 +1,144 @@
+#include "dip/xia/xia.hpp"
+
+namespace dip::xia {
+
+using core::DipHeader;
+using core::DropReason;
+using core::FnTriple;
+using core::OpContext;
+using core::OpKey;
+
+bytes::Status DagOp::execute(OpContext& ctx) {
+  auto target = ctx.target_bytes();
+  if (target.empty()) return bytes::Unexpected{bytes::Error::kMalformed};
+
+  auto parsed = parse_dag(target);
+  if (!parsed) {
+    ctx.result->drop(DropReason::kMalformed);
+    return {};
+  }
+  const Dag& dag = parsed->dag;
+  std::uint8_t cursor = parsed->cursor;
+
+  if (ctx.env->xid_table == nullptr) {
+    ctx.result->drop(DropReason::kNoRoute);
+    return {};
+  }
+  const fib::XidTable& table = *ctx.env->xid_table;
+
+  // Traversal loop. Locally owned nodes are entered without forwarding
+  // (cursor advances and their edges are tried next); the DAG is validated
+  // acyclic, so at most node_count advances happen.
+  for (std::size_t hops = 0; hops <= dag.node_count(); ++hops) {
+    // Arrived? If the cursor sits on a locally owned intent, leave the
+    // verdict to F_intent (which follows in the FN list).
+    if (cursor != Dag::kSourceCursor) {
+      const DagNode& at = dag.node(cursor);
+      if (cursor == dag.intent() && table.is_local(at.type, at.xid)) return {};
+    }
+
+    bool advanced = false;
+    // Fallback: first out-edge (priority order) with a usable route.
+    for (const std::uint8_t next_index : dag.edges_of(cursor)) {
+      const DagNode& candidate = dag.node(next_index);
+
+      if (table.is_local(candidate.type, candidate.xid)) {
+        // The packet has *arrived* at this DAG node (we own it): only now
+        // does last_visited advance (XIA semantics — intermediate routers
+        // forward toward a node without touching the cursor).
+        cursor = next_index;
+        target[1] = next_index;  // write back last_visited
+        advanced = true;
+        break;
+      }
+      if (const auto nh = table.lookup(candidate.type, candidate.xid)) {
+        // Route toward the candidate; the cursor is untouched until the
+        // packet reaches a router that owns it.
+        ctx.result->egress.assign(1, *nh);
+        return {};
+      }
+    }
+    if (!advanced) break;
+  }
+
+  // No edge routable: XIA drops (no fallback left).
+  ctx.result->drop(DropReason::kNoRoute);
+  return {};
+}
+
+bytes::Status IntentOp::execute(OpContext& ctx) {
+  auto target = ctx.target_bytes();
+  if (target.empty()) return bytes::Unexpected{bytes::Error::kMalformed};
+
+  auto parsed = parse_dag(target);
+  if (!parsed) {
+    ctx.result->drop(DropReason::kMalformed);
+    return {};
+  }
+  const Dag& dag = parsed->dag;
+  if (parsed->cursor != dag.intent()) return {};  // not at the intent yet
+
+  const DagNode& intent = dag.node(dag.intent());
+  if (ctx.env->xid_table == nullptr ||
+      !ctx.env->xid_table->is_local(intent.type, intent.xid)) {
+    return {};  // somebody else's intent; F_DAG already set the egress
+  }
+
+  switch (intent.type) {
+    case fib::XidType::kCid: {
+      // Content intent: serve from the content store when possible.
+      if (ctx.env->content_store) {
+        const std::uint64_t code = xid_code(intent.xid);
+        if (ctx.env->content_store->contains(code)) {
+          ctx.result->respond_from_cache = true;
+          ctx.result->egress.assign(1, ctx.ingress);
+          return {};
+        }
+      }
+      ctx.result->drop(DropReason::kNoRoute);  // content not present
+      return {};
+    }
+    case fib::XidType::kSid:
+    case fib::XidType::kHid:
+    case fib::XidType::kAd: {
+      // Local delivery: hand to the host face registered for the XID.
+      const auto nh = ctx.env->xid_table->lookup(intent.type, intent.xid);
+      if (nh) {
+        ctx.result->egress.assign(1, *nh);
+      } else {
+        // Locally owned but no delivery face: treat as local sink.
+        ctx.result->egress.assign(1, ctx.ingress);
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+bytes::Result<DipHeader> make_xia_header(const Dag& dag, core::NextHeader next,
+                                         std::uint8_t hop_limit) {
+  const std::vector<std::uint8_t> wire = dag.serialize(Dag::kSourceCursor);
+  core::HeaderBuilder b;
+  b.next_header(next).hop_limit(hop_limit);
+  const std::uint16_t loc = b.add_location(wire);
+  const auto len_bits = static_cast<std::uint16_t>(wire.size() * 8);
+  b.add_fn(FnTriple::router(loc, len_bits, OpKey::kDag));
+  b.add_fn(FnTriple::router(loc, len_bits, OpKey::kIntent));
+  return b.build();
+}
+
+bytes::Result<ParsedDag> extract_dag(const DipHeader& header) {
+  for (const FnTriple& fn : header.fns) {
+    if (fn.key() == OpKey::kDag) {
+      const auto range = fn.range();
+      if (!bytes::fits(range, header.locations.size()) || !range.byte_aligned()) {
+        return bytes::Err(bytes::Error::kMalformed);
+      }
+      return parse_dag(std::span<const std::uint8_t>(header.locations)
+                            .subspan(range.bit_offset / 8, range.byte_length()));
+    }
+  }
+  return bytes::Err(bytes::Error::kMalformed);
+}
+
+}  // namespace dip::xia

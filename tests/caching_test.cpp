@@ -1,0 +1,147 @@
+// The footnote-2 caching extension, end to end: PIT aggregation fan-out on
+// a star topology, content-store absorption of repeat requests, and a
+// Zipf-popularity workload quantifying producer offload.
+#include <gtest/gtest.h>
+
+#include "dip/host/ndn_app.hpp"
+#include "dip/netsim/topology.hpp"
+
+namespace dip::netsim {
+namespace {
+
+using fib::Name;
+
+std::shared_ptr<core::OpRegistry> registry() {
+  static auto r = make_default_registry();
+  return r;
+}
+
+core::RouterEnv hub_env(bool with_cache) {
+  core::RouterEnv env = make_basic_env(0);
+  env.default_egress.reset();
+  if (with_cache) env.content_store.emplace(1024);
+  return env;
+}
+
+struct StarFixture {
+  explicit StarFixture(std::size_t consumers, bool with_cache)
+      : star(make_star(net, consumers, registry(), hub_env(with_cache))) {
+    // Route the content prefix toward the producer.
+    ndn::install_name_route(*star->hub->env().fib32, Name::parse("/cdn"),
+                            star->hub_producer_face);
+    producer.emplace(star->producer, star->producer_face);
+  }
+
+  Network net;
+  std::unique_ptr<Star> star;
+  std::optional<host::NdnProducer> producer;
+};
+
+TEST(Caching, PitAggregationFansOutToAllRequesters) {
+  constexpr std::size_t kConsumers = 5;
+  StarFixture fx(kConsumers, /*with_cache=*/false);
+  const Name name = Name::parse("/cdn/launch-day-video");
+  fx.producer->publish(name, {'v', 'i', 'd'});
+
+  std::size_t satisfied = 0;
+  std::vector<std::unique_ptr<host::NdnConsumer>> consumers;
+  for (std::size_t i = 0; i < kConsumers; ++i) {
+    consumers.push_back(std::make_unique<host::NdnConsumer>(
+        *fx.star->consumers[i], fx.star->consumer_face[i]));
+    // All five express the same interest at t=0 — the thundering herd.
+    consumers.back()->express_interest(
+        name, [&](const Name&, std::span<const std::uint8_t> payload) {
+          EXPECT_EQ(payload.size(), 3u);
+          ++satisfied;
+        });
+  }
+  fx.net.run();
+
+  EXPECT_EQ(satisfied, kConsumers) << "data must fan out to every requester";
+  EXPECT_EQ(fx.producer->interests_served(), 1u)
+      << "PIT aggregation: the producer sees ONE interest, not five";
+}
+
+TEST(Caching, ContentStoreAbsorbsRepeatRequests) {
+  StarFixture fx(2, /*with_cache=*/true);
+  const Name name = Name::parse("/cdn/logo.png");
+  fx.producer->publish(name, {'p', 'n', 'g'});
+
+  // Consumer 0 fetches; the data passing through the hub populates the CS.
+  host::NdnConsumer first(*fx.star->consumers[0], fx.star->consumer_face[0]);
+  std::vector<std::uint8_t> got0;
+  first.express_interest(name, [&](const Name&, std::span<const std::uint8_t> p) {
+    got0.assign(p.begin(), p.end());
+  });
+  fx.net.run();
+  ASSERT_EQ(got0, (std::vector<std::uint8_t>{'p', 'n', 'g'}));
+  EXPECT_EQ(fx.producer->interests_served(), 1u);
+
+  // Consumer 1 asks later: served by the hub's cache, producer untouched.
+  host::NdnConsumer second(*fx.star->consumers[1], fx.star->consumer_face[1]);
+  std::vector<std::uint8_t> got1;
+  second.express_interest(name, [&](const Name&, std::span<const std::uint8_t> p) {
+    got1.assign(p.begin(), p.end());
+  });
+  fx.net.run();
+
+  EXPECT_EQ(got1, got0) << "cache must serve identical content";
+  EXPECT_EQ(fx.producer->interests_served(), 1u)
+      << "repeat request never reached the producer (footnote 2)";
+  EXPECT_GE(fx.star->hub->env().content_store->hits(), 1u);
+}
+
+TEST(Caching, ZipfWorkloadOffloadsProducer) {
+  constexpr std::size_t kCatalog = 200;
+  constexpr std::size_t kRequests = 400;
+
+  auto run_workload = [&](bool with_cache) -> std::uint64_t {
+    StarFixture fx(1, with_cache);
+    std::vector<Name> names;
+    for (std::size_t i = 0; i < kCatalog; ++i) {
+      Name n = Name::parse("/cdn/object" + std::to_string(i));
+      names.push_back(n);
+      fx.producer->publish(n, std::vector<std::uint8_t>(32, static_cast<std::uint8_t>(i)));
+    }
+
+    host::NdnConsumer consumer(*fx.star->consumers[0], fx.star->consumer_face[0]);
+    ZipfSampler zipf(kCatalog, /*exponent=*/1.0, /*seed=*/99);
+    std::size_t answered = 0;
+    for (std::size_t r = 0; r < kRequests; ++r) {
+      consumer.express_interest(
+          names[zipf.sample()],
+          [&](const Name&, std::span<const std::uint8_t>) { ++answered; });
+      fx.net.run();  // complete each exchange before the next (no dup names in PIT)
+    }
+    EXPECT_EQ(answered, kRequests);
+    return fx.producer->interests_served();
+  };
+
+  const std::uint64_t without_cache = run_workload(false);
+  const std::uint64_t with_cache = run_workload(true);
+
+  EXPECT_EQ(without_cache, kRequests) << "no cache: every request hits the producer";
+  EXPECT_LT(with_cache, kRequests / 2)
+      << "Zipf(1.0) + LRU cache must absorb the popular head";
+  EXPECT_LE(with_cache, static_cast<std::uint64_t>(kCatalog));
+}
+
+TEST(Zipf, HeadIsHeavy) {
+  ZipfSampler zipf(1000, 1.0, 7);
+  std::size_t head = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.sample() < 10) ++head;
+  }
+  // Zipf(1.0, n=1000): top-10 mass ~ H(10)/H(1000) ~ 2.93/7.49 ~ 39%.
+  EXPECT_NEAR(static_cast<double>(head) / kSamples, 0.39, 0.05);
+}
+
+TEST(Zipf, DeterministicPerSeed) {
+  ZipfSampler a(100, 0.8, 5);
+  ZipfSampler b(100, 0.8, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.sample(), b.sample());
+}
+
+}  // namespace
+}  // namespace dip::netsim

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "dip/core/builder.hpp"
+#include "dip/core/fn.hpp"
+#include "dip/core/header.hpp"
+#include "dip/core/ip.hpp"
+#include "dip/crypto/random.hpp"
+
+namespace dip::core {
+namespace {
+
+// ---------- FN triples ----------
+
+TEST(FnTriple, TagBitSemantics) {
+  const FnTriple r = FnTriple::router(0, 32, OpKey::kMatch32);
+  EXPECT_FALSE(r.host_tagged());
+  EXPECT_EQ(r.key(), OpKey::kMatch32);
+
+  const FnTriple h = FnTriple::host(0, 544, OpKey::kVer);
+  EXPECT_TRUE(h.host_tagged());
+  EXPECT_EQ(h.key(), OpKey::kVer);
+  EXPECT_EQ(h.op & 0x7fff, 9);  // Table 1: F_ver = key 9
+}
+
+TEST(FnTriple, Table1KeyNumbers) {
+  // The numeric keys are part of the wire protocol (Table 1).
+  EXPECT_EQ(static_cast<int>(OpKey::kMatch32), 1);
+  EXPECT_EQ(static_cast<int>(OpKey::kMatch128), 2);
+  EXPECT_EQ(static_cast<int>(OpKey::kSource), 3);
+  EXPECT_EQ(static_cast<int>(OpKey::kFib), 4);
+  EXPECT_EQ(static_cast<int>(OpKey::kPit), 5);
+  EXPECT_EQ(static_cast<int>(OpKey::kParm), 6);
+  EXPECT_EQ(static_cast<int>(OpKey::kMac), 7);
+  EXPECT_EQ(static_cast<int>(OpKey::kMark), 8);
+  EXPECT_EQ(static_cast<int>(OpKey::kVer), 9);
+  EXPECT_EQ(static_cast<int>(OpKey::kDag), 10);
+  EXPECT_EQ(static_cast<int>(OpKey::kIntent), 11);
+}
+
+TEST(FnInfo, NotationAndPathCriticality) {
+  EXPECT_EQ(op_key_name(OpKey::kFib), "F_FIB");
+  EXPECT_EQ(op_key_name(OpKey::kMac), "F_MAC");
+  EXPECT_EQ(op_key_name(static_cast<OpKey>(999)), "F_?");
+
+  EXPECT_TRUE(fn_info(OpKey::kMac)->requires_full_path);
+  EXPECT_TRUE(fn_info(OpKey::kParm)->requires_full_path);
+  EXPECT_FALSE(fn_info(OpKey::kTelemetry)->requires_full_path);
+  EXPECT_FALSE(fn_info(static_cast<OpKey>(999)));
+}
+
+// ---------- header codec ----------
+
+DipHeader sample_header() {
+  DipHeader h;
+  h.basic.next_header = 17;
+  h.basic.hop_limit = 33;
+  h.basic.parallel = true;
+  h.fns.push_back(FnTriple::router(0, 32, OpKey::kMatch32));
+  h.fns.push_back(FnTriple::host(32, 32, OpKey::kVer));
+  h.locations = {1, 2, 3, 4, 5, 6, 7, 8};
+  return h;
+}
+
+TEST(Header, SerializeParseRoundTrip) {
+  const DipHeader h = sample_header();
+  const auto wire = h.serialize();
+  EXPECT_EQ(wire.size(), 6u + 2 * 6 + 8);
+
+  const auto back = DipHeader::parse(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->basic.next_header, 17);
+  EXPECT_EQ(back->basic.hop_limit, 33);
+  EXPECT_TRUE(back->basic.parallel);
+  EXPECT_EQ(back->basic.fn_num, 2);
+  EXPECT_EQ(back->basic.loc_len, 8);
+  EXPECT_EQ(back->fns, h.fns);
+  EXPECT_EQ(back->locations, h.locations);
+}
+
+TEST(Header, DerivedLengthNeverCarried) {
+  // §2.2: header length is derived from FN_Num and FN_LocLen.
+  DipHeader h = sample_header();
+  EXPECT_EQ(h.wire_size(), 6u + h.fns.size() * 6 + h.locations.size());
+}
+
+TEST(Header, ChecksumDetectsCorruption) {
+  auto wire = sample_header().serialize();
+  wire[2] ^= 0x01;  // flip a hop-limit bit without fixing the checksum
+  const auto back = DipHeader::parse(wire);
+  ASSERT_FALSE(back);
+  EXPECT_EQ(back.error(), bytes::Error::kChecksum);
+}
+
+TEST(Header, TruncationDetected) {
+  const auto wire = sample_header().serialize();
+  for (const std::size_t cut : {0u, 3u, 6u, 10u, 17u, 19u}) {
+    const auto back =
+        DipHeader::parse(std::span<const std::uint8_t>(wire.data(), cut));
+    EXPECT_FALSE(back) << "parse must fail at " << cut << " bytes";
+  }
+}
+
+TEST(Header, FnAddressingOutsideLocationsRejected) {
+  DipHeader h = sample_header();
+  h.fns.push_back(FnTriple::router(32, 64, OpKey::kMac));  // 96 bits > 64
+  const auto wire = h.serialize();
+  const auto back = DipHeader::parse(wire);
+  ASSERT_FALSE(back);
+  EXPECT_EQ(back.error(), bytes::Error::kMalformed);
+}
+
+TEST(Header, ZeroFnHeaderIsSixBytes) {
+  DipHeader h;
+  const auto wire = h.serialize();
+  EXPECT_EQ(wire.size(), 6u);
+  EXPECT_TRUE(DipHeader::parse(wire));
+}
+
+TEST(Header, ParallelFlagIsLowestParamBit) {
+  // §2.2: "The lowest bit indicates whether the operation modules can be
+  // executed in parallel."
+  DipHeader h;
+  h.basic.parallel = true;
+  const auto wire = h.serialize();
+  EXPECT_EQ(wire[4] & 0x01, 0x01);  // param low byte, lowest bit
+  DipHeader h2;
+  EXPECT_EQ(h2.serialize()[4] & 0x01, 0x00);
+}
+
+// ---------- Table 2 header sizes (the paper's exact numbers) ----------
+
+TEST(Table2, Dip32HeaderIs26Bytes) {
+  const auto h = make_dip32_header(fib::ipv4_from_u32(0x0A000001),
+                                   fib::ipv4_from_u32(0x0A000002));
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->wire_size(), 26u);
+  EXPECT_EQ(h->serialize().size(), 26u);
+}
+
+TEST(Table2, Dip128HeaderIs50Bytes) {
+  const auto h = make_dip128_header(fib::parse_ipv6("2001:db8::1").value(),
+                                    fib::parse_ipv6("2001:db8::2").value());
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->wire_size(), 50u);
+}
+
+TEST(Dip32, TriplesMatchPaperSection3) {
+  // (loc 0, len 32, match) + (loc 32, len 32, source)
+  const auto h = make_dip32_header(fib::ipv4_from_u32(1), fib::ipv4_from_u32(2));
+  ASSERT_TRUE(h);
+  ASSERT_EQ(h->fns.size(), 2u);
+  EXPECT_EQ(h->fns[0], FnTriple::router(0, 32, OpKey::kMatch32));
+  EXPECT_EQ(h->fns[1], FnTriple::router(32, 32, OpKey::kSource));
+  // Destination in the lower bits, source in the upper (§3).
+  EXPECT_EQ(h->locations[3], 1);
+  EXPECT_EQ(h->locations[7], 2);
+}
+
+TEST(Dip128, TriplesMatchPaperSection3) {
+  const auto h = make_dip128_header(fib::parse_ipv6("::1").value(),
+                                    fib::parse_ipv6("::2").value());
+  ASSERT_TRUE(h);
+  ASSERT_EQ(h->fns.size(), 2u);
+  EXPECT_EQ(h->fns[0], FnTriple::router(0, 128, OpKey::kMatch128));
+  EXPECT_EQ(h->fns[1], FnTriple::router(128, 128, OpKey::kSource));
+}
+
+TEST(Dip32, FindSourceField) {
+  const auto h = make_dip32_header(fib::ipv4_from_u32(1), fib::ipv4_from_u32(2));
+  const auto range = find_source_field(h->fns);
+  ASSERT_TRUE(range);
+  EXPECT_EQ(range->bit_offset, 32u);
+  EXPECT_EQ(range->bit_length, 32u);
+  EXPECT_FALSE(find_source_field({}));
+}
+
+// ---------- HeaderView ----------
+
+TEST(HeaderView, BindsAndAliasesPacket) {
+  auto wire = sample_header().serialize();
+  wire.push_back(0xEE);  // one payload byte
+  auto view = HeaderView::bind(wire);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->fns().size(), 2u);
+  EXPECT_EQ(view->locations().size(), 8u);
+  EXPECT_EQ(view->payload().size(), 1u);
+  EXPECT_EQ(view->payload()[0], 0xEE);
+
+  // Mutating through the view mutates the packet (zero copy).
+  view->locations()[0] = 0x99;
+  EXPECT_EQ(wire[6 + 12], 0x99);
+}
+
+TEST(HeaderView, HopLimitDecrementRewritesChecksum) {
+  auto wire = sample_header().serialize();
+  auto view = HeaderView::bind(wire);
+  ASSERT_TRUE(view);
+  EXPECT_TRUE(view->decrement_hop_limit());
+  EXPECT_EQ(wire[2], 32);
+  // The rewritten packet must still parse (checksum fixed up).
+  EXPECT_TRUE(DipHeader::parse(wire));
+}
+
+TEST(HeaderView, HopLimitExhaustion) {
+  DipHeader h;
+  h.basic.hop_limit = 1;
+  auto wire = h.serialize();
+  auto view = HeaderView::bind(wire);
+  ASSERT_TRUE(view);
+  EXPECT_FALSE(view->decrement_hop_limit()) << "1 -> 0 means drop";
+
+  DipHeader h0;
+  h0.basic.hop_limit = 0;
+  auto wire0 = h0.serialize();
+  auto view0 = HeaderView::bind(wire0);
+  ASSERT_TRUE(view0);
+  EXPECT_FALSE(view0->decrement_hop_limit());
+}
+
+TEST(HeaderView, RejectsTooManyFns) {
+  DipHeader h;
+  for (int i = 0; i < 17; ++i) h.fns.push_back(FnTriple::router(0, 8, OpKey::kSource));
+  h.locations = {0};
+  const auto wire = h.serialize();
+  std::vector<std::uint8_t> mutable_wire = wire;
+  EXPECT_FALSE(HeaderView::bind(mutable_wire));
+}
+
+// ---------- builder ----------
+
+TEST(Builder, ComposesLocationsSequentially) {
+  HeaderBuilder b;
+  const std::array<std::uint8_t, 2> f1 = {0xAA, 0xBB};
+  const std::array<std::uint8_t, 3> f2 = {1, 2, 3};
+  EXPECT_EQ(b.add_location(f1), 0);
+  EXPECT_EQ(b.add_location(f2), 16);
+  EXPECT_EQ(b.add_zero_location(4), 40);
+  const auto h = b.build();
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->locations.size(), 9u);
+  EXPECT_EQ(h->locations[0], 0xAA);
+  EXPECT_EQ(h->locations[8], 0);
+}
+
+TEST(Builder, RejectsFnOutsideLocations) {
+  HeaderBuilder b;
+  b.add_fn(FnTriple::router(0, 32, OpKey::kMatch32));  // no locations yet
+  EXPECT_FALSE(b.build());
+}
+
+TEST(Builder, RejectsTooManyFns) {
+  HeaderBuilder b;
+  b.add_zero_location(4);
+  for (int i = 0; i < 17; ++i) b.add_fn(FnTriple::router(0, 32, OpKey::kSource));
+  const auto h = b.build();
+  ASSERT_FALSE(h);
+  EXPECT_EQ(h.error(), bytes::Error::kOverflow);
+}
+
+TEST(Builder, RoundTripsThroughWire) {
+  crypto::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    HeaderBuilder b;
+    const std::size_t fields = 1 + rng.below(4);
+    for (std::size_t i = 0; i < fields; ++i) {
+      std::vector<std::uint8_t> field(1 + rng.below(40));
+      for (auto& byte : field) byte = static_cast<std::uint8_t>(rng.next());
+      b.add_router_fn(OpKey::kSource, field);
+    }
+    const auto h = b.build();
+    ASSERT_TRUE(h);
+    const auto wire = h->serialize();
+    const auto back = DipHeader::parse(wire);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->fns, h->fns);
+    EXPECT_EQ(back->locations, h->locations);
+  }
+}
+
+}  // namespace
+}  // namespace dip::core

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "dip/bytes/hex.hpp"
+#include "dip/crypto/aes.hpp"
+#include "dip/crypto/drkey.hpp"
+#include "dip/crypto/even_mansour.hpp"
+#include "dip/crypto/mac.hpp"
+#include "dip/crypto/random.hpp"
+#include "dip/crypto/siphash.hpp"
+
+namespace dip::crypto {
+namespace {
+
+Block block_of_hex(std::string_view hex) {
+  const auto v = bytes::from_hex(hex);
+  EXPECT_TRUE(v.has_value());
+  Block b{};
+  std::copy(v->begin(), v->end(), b.begin());
+  return b;
+}
+
+// ---------- AES-128 (FIPS-197 / SP 800-38A known answers) ----------
+
+TEST(Aes128, Fips197AppendixBVector) {
+  const Block key = block_of_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Block plain = block_of_hex("3243f6a8885a308d313198a2e0370734");
+  const Block expected = block_of_hex("3925841d02dc09fbdc118597196a0b32");
+
+  Aes128 aes(key);
+  Block state = plain;
+  aes.encrypt(state);
+  EXPECT_EQ(state, expected);
+
+  aes.decrypt(state);
+  EXPECT_EQ(state, plain);
+}
+
+TEST(Aes128, Sp80038aEcbVector) {
+  const Block key = block_of_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key);
+  Block b = block_of_hex("6bc1bee22e409f96e93d7e117393172a");
+  aes.encrypt(b);
+  EXPECT_EQ(b, block_of_hex("3ad77bb40d7a3660a89ecaf32466ef97"));
+}
+
+TEST(Aes128, EncryptDecryptInverseRandom) {
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Block key = rng.block();
+    const Block plain = rng.block();
+    Aes128 aes(key);
+    Block state = plain;
+    aes.encrypt(state);
+    EXPECT_NE(state, plain);
+    aes.decrypt(state);
+    EXPECT_EQ(state, plain);
+  }
+}
+
+TEST(Aes128, KeySensitivity) {
+  Block key = block_of_hex("000102030405060708090a0b0c0d0e0f");
+  const Block plain{};
+  Aes128 a(key);
+  key[15] ^= 1;
+  Aes128 b(key);
+  EXPECT_NE(a.encrypt_copy(plain), b.encrypt_copy(plain));
+}
+
+// ---------- 2EM ----------
+
+TEST(EvenMansour2, EncryptDecryptInverse) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Block key = rng.block();
+    EvenMansour2 em(key);
+    const Block plain = rng.block();
+    Block state = plain;
+    em.encrypt(state);
+    EXPECT_NE(state, plain);
+    em.decrypt(state);
+    EXPECT_EQ(state, plain);
+  }
+}
+
+TEST(EvenMansour2, DistinctKeysDistinctCiphertexts) {
+  const Block plain{};
+  EvenMansour2 a(block_of_hex("00000000000000000000000000000001"));
+  EvenMansour2 b(block_of_hex("00000000000000000000000000000002"));
+  EXPECT_NE(a.encrypt_copy(plain), b.encrypt_copy(plain));
+}
+
+TEST(EvenMansour2, Deterministic) {
+  const Block key = block_of_hex("0123456789abcdef0123456789abcdef");
+  EvenMansour2 a(key);
+  EvenMansour2 b(key);
+  const Block plain = block_of_hex("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(a.encrypt_copy(plain), b.encrypt_copy(plain));
+}
+
+// ---------- CMAC (RFC 4493 known answers) ----------
+
+TEST(AesCmac, Rfc4493Vectors) {
+  const Block key = block_of_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  AesCmac cmac(key);
+
+  // Example 1: empty message.
+  EXPECT_EQ(cmac.compute({}), block_of_hex("bb1d6929e95937287fa37d129b756746"));
+
+  // Example 2: 16 bytes.
+  const auto m16 = bytes::from_hex("6bc1bee22e409f96e93d7e117393172a").value();
+  EXPECT_EQ(cmac.compute(m16), block_of_hex("070a16b46b4d4144f79bdd9dd04a287c"));
+
+  // Example 3: 40 bytes.
+  const auto m40 = bytes::from_hex(
+                       "6bc1bee22e409f96e93d7e117393172a"
+                       "ae2d8a571e03ac9c9eb76fac45af8e51"
+                       "30c81c46a35ce411")
+                       .value();
+  EXPECT_EQ(cmac.compute(m40), block_of_hex("dfa66747de9ae63030ca32611497c827"));
+
+  // Example 4: 64 bytes.
+  const auto m64 = bytes::from_hex(
+                       "6bc1bee22e409f96e93d7e117393172a"
+                       "ae2d8a571e03ac9c9eb76fac45af8e51"
+                       "30c81c46a35ce411e5fbc1191a0a52ef"
+                       "f69f2445df4f9b17ad2b417be66c3710")
+                       .value();
+  EXPECT_EQ(cmac.compute(m64), block_of_hex("51f0bebf7e3b9d92fc49741779363cfe"));
+}
+
+TEST(AesCmac, VerifyAcceptsAndRejects) {
+  const Block key = block_of_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  AesCmac cmac(key);
+  const std::vector<std::uint8_t> msg = {1, 2, 3};
+  Block tag = cmac.compute(msg);
+  EXPECT_TRUE(cmac.verify(msg, tag));
+  tag[0] ^= 1;
+  EXPECT_FALSE(cmac.verify(msg, tag));
+}
+
+class MacKindTest : public ::testing::TestWithParam<MacKind> {};
+
+// Properties that must hold for both MAC primitives.
+TEST_P(MacKindTest, BasicMacProperties) {
+  Xoshiro256 rng(7);
+  const Block key = rng.block();
+  const auto mac = make_mac(GetParam(), key);
+  ASSERT_NE(mac, nullptr);
+
+  // Length-extension-style boundaries: every size near block boundaries.
+  for (const std::size_t n : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 33u, 52u, 68u}) {
+    std::vector<std::uint8_t> msg(n);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+
+    const Block tag = mac->compute(msg);
+    EXPECT_EQ(tag, mac->compute(msg)) << "deterministic at n=" << n;
+    EXPECT_TRUE(mac->verify(msg, tag));
+
+    if (n > 0) {
+      auto tampered = msg;
+      tampered[n / 2] ^= 0x80;
+      EXPECT_NE(mac->compute(tampered), tag) << "bit flip must change tag, n=" << n;
+    }
+  }
+
+  // Distinct keys -> distinct tags.
+  const auto other = make_mac(GetParam(), rng.block());
+  const std::vector<std::uint8_t> msg = {42};
+  EXPECT_NE(mac->compute(msg), other->compute(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPrimitives, MacKindTest,
+                         ::testing::Values(MacKind::kEm2, MacKind::kAesCmac));
+
+TEST(Mac, PaddingDomainSeparation) {
+  // CMAC property: "0x01" and "0x01 0x80" style confusions must not collide.
+  const Block key{};
+  Em2Mac mac(key);
+  const std::vector<std::uint8_t> a = {0x01};
+  const std::vector<std::uint8_t> b = {0x01, 0x80};
+  EXPECT_NE(mac.compute(a), mac.compute(b));
+}
+
+// ---------- DRKey ----------
+
+TEST(DrKey, DeterministicPerSessionAndSecret) {
+  Xoshiro256 rng(5);
+  const Block secret = rng.block();
+  const SessionId session = rng.block();
+
+  DrKey drkey(secret);
+  EXPECT_EQ(drkey.derive(session), drkey.derive(session));
+
+  const SessionId other_session = rng.block();
+  EXPECT_NE(drkey.derive(session), drkey.derive(other_session));
+
+  DrKey other_node(rng.block());
+  EXPECT_NE(drkey.derive(session), other_node.derive(session));
+}
+
+TEST(DrKey, PathKeysMatchPerNodeDerivation) {
+  Xoshiro256 rng(6);
+  std::vector<Block> secrets{rng.block(), rng.block(), rng.block()};
+  const SessionId session = rng.block();
+
+  const auto keys = derive_path_keys(secrets, session);
+  ASSERT_EQ(keys.size(), 3u);
+  for (std::size_t i = 0; i < secrets.size(); ++i) {
+    EXPECT_EQ(keys[i], DrKey(secrets[i]).derive(session));
+  }
+}
+
+// ---------- SipHash ----------
+
+TEST(SipHash, ReferenceVector) {
+  // From the SipHash reference implementation test vectors:
+  // key = 000102...0f, input = 00 01 02 ... (len 15 shown here).
+  SipKey key{};
+  for (int i = 0; i < 16; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 15; ++i) input.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(siphash24(key, input), 0xa129ca6149be45e5ULL);
+}
+
+TEST(SipHash, EmptyInputVector) {
+  SipKey key{};
+  for (int i = 0; i < 16; ++i) key[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(siphash24(key, {}), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(SipHash, KeyednessAndSpread) {
+  SipKey a{};
+  SipKey b{};
+  b[0] = 1;
+  const std::vector<std::uint8_t> msg = {'d', 'i', 'p'};
+  EXPECT_NE(siphash24(a, msg), siphash24(b, msg));
+}
+
+// ---------- PRNG ----------
+
+TEST(Xoshiro, DeterministicAndSeedSensitive) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  Xoshiro256 c(43);
+  for (int i = 0; i < 10; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, c.next());
+  }
+}
+
+TEST(Xoshiro, BelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+// ---------- helpers ----------
+
+TEST(BlockHelpers, ConstantTimeEqual) {
+  Block a{};
+  Block b{};
+  EXPECT_TRUE(block_equal_ct(a, b));
+  b[15] = 1;
+  EXPECT_FALSE(block_equal_ct(a, b));
+}
+
+TEST(BlockHelpers, FromToSpanShorterThanBlock) {
+  const std::array<std::uint8_t, 3> shorty = {1, 2, 3};
+  const Block b = block_from(shorty);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[2], 3);
+  EXPECT_EQ(b[3], 0);
+
+  std::array<std::uint8_t, 5> out{};
+  block_to(b, out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[4], 0);
+}
+
+}  // namespace
+}  // namespace dip::crypto

@@ -1,0 +1,236 @@
+// EPIC-style F_hvf: per-hop verify-and-update, in-network filtering of
+// forged traffic (the property OPT lacks), and destination path proof.
+#include <gtest/gtest.h>
+
+#include "dip/epic/epic.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/core/router.hpp"
+#include "dip/netsim/topology.hpp"
+
+namespace dip::epic {
+namespace {
+
+using core::Action;
+using core::DipHeader;
+using core::DropReason;
+using core::Router;
+
+std::shared_ptr<core::OpRegistry> registry() {
+  // The default netsim registry predates F_hvf; extend a copy.
+  static auto r = [] {
+    auto reg = netsim::make_default_registry();
+    reg->add(std::make_unique<HvfOp>());
+    return reg;
+  }();
+  return r;
+}
+
+struct EpicPath {
+  std::vector<crypto::Block> secrets;
+  std::vector<Router> routers;
+  opt::Session session;
+};
+
+EpicPath make_path(std::size_t hops) {
+  EpicPath path;
+  crypto::Xoshiro256 rng(0xE51C);
+  for (std::size_t i = 0; i < hops; ++i) {
+    path.secrets.push_back(rng.block());
+    auto env = netsim::make_basic_env(static_cast<std::uint32_t>(i));
+    env.node_secret = path.secrets.back();
+    env.default_egress = 1;
+    path.routers.emplace_back(std::move(env), registry().get());
+  }
+  path.session = opt::negotiate_session(rng.block(), path.secrets, rng.block());
+  return path;
+}
+
+constexpr std::array<std::uint8_t, 4> kPayload = {'e', 'p', 'i', 'c'};
+
+std::vector<std::uint8_t> epic_packet(const opt::Session& session) {
+  auto wire = make_epic_header(session, kPayload, 99)->serialize();
+  wire.insert(wire.end(), kPayload.begin(), kPayload.end());
+  return wire;
+}
+
+VerifyResult verify_received(const opt::Session& session,
+                             std::span<const std::uint8_t> packet) {
+  const auto h = DipHeader::parse(packet);
+  EXPECT_TRUE(h.has_value());
+  // Qualified: ADL also finds opt::verify_packet via opt::Session.
+  return epic::verify_packet(session, h->locations, packet.subspan(h->wire_size()));
+}
+
+class EpicChain : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EpicChain, HonestPathVerifiesEndToEnd) {
+  EpicPath path = make_path(GetParam());
+  auto packet = epic_packet(path.session);
+  for (auto& router : path.routers) {
+    ASSERT_EQ(router.process(packet, 0, 0).action, Action::kForward);
+  }
+  EXPECT_EQ(verify_received(path.session, packet), VerifyResult::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(HopCounts, EpicChain, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Epic, ForgedPacketDiesAtTheFirstHop) {
+  // An attacker without the hop keys fabricates HVFs. OPT would carry this
+  // to the destination; EPIC's F_hvf kills it at router 0.
+  EpicPath path = make_path(3);
+  opt::Session forged = path.session;
+  forged.router_keys[0][3] ^= 1;  // wrong key for hop 0
+
+  auto packet = epic_packet(forged);
+  const auto result = path.routers[0].process(packet, 0, 0);
+  EXPECT_EQ(result.action, Action::kDrop);
+  EXPECT_EQ(result.reason, DropReason::kAuthFailed);
+}
+
+TEST(Epic, ForgeryDeeperInThePathDiesExactlyThere) {
+  EpicPath path = make_path(4);
+  opt::Session forged = path.session;
+  forged.router_keys[2][0] ^= 1;  // hops 0,1 valid; hop 2 forged
+
+  auto packet = epic_packet(forged);
+  EXPECT_EQ(path.routers[0].process(packet, 0, 0).action, Action::kForward);
+  EXPECT_EQ(path.routers[1].process(packet, 0, 0).action, Action::kForward);
+  const auto result = path.routers[2].process(packet, 0, 0);
+  EXPECT_EQ(result.action, Action::kDrop);
+  EXPECT_EQ(result.reason, DropReason::kAuthFailed);
+}
+
+TEST(Epic, ReplayedHopFailsVerification) {
+  // A router processing the packet twice consumes someone else's HVF slot.
+  EpicPath path = make_path(2);
+  auto packet = epic_packet(path.session);
+  EXPECT_EQ(path.routers[0].process(packet, 0, 0).action, Action::kForward);
+  // Router 0 again: hop_index now 1, but HVF[1] was keyed for router 1.
+  EXPECT_EQ(path.routers[0].process(packet, 0, 0).reason, DropReason::kAuthFailed);
+}
+
+TEST(Epic, PathLongerThanDeclaredDropped) {
+  EpicPath path = make_path(2);
+  auto packet = epic_packet(path.session);
+  EXPECT_EQ(path.routers[0].process(packet, 0, 0).action, Action::kForward);
+  EXPECT_EQ(path.routers[1].process(packet, 0, 0).action, Action::kForward);
+  // A third DIP router beyond the declared path: hop_index == hop_count.
+  EpicPath extra = make_path(1);
+  EXPECT_EQ(extra.routers[0].process(packet, 0, 0).reason, DropReason::kAuthFailed);
+}
+
+TEST(Epic, SkippedHopCaughtByDestination) {
+  EpicPath path = make_path(3);
+  auto packet = epic_packet(path.session);
+  (void)path.routers[0].process(packet, 0, 0);
+  // Router 1 bypassed entirely (e.g., tunnel around it).
+  // Router 2 will check HVF[1] with ITS key and fail -> dropped in-network.
+  const auto result = path.routers[2].process(packet, 0, 0);
+  EXPECT_EQ(result.reason, DropReason::kAuthFailed);
+}
+
+TEST(Epic, TamperedPayloadCaughtByDestination) {
+  EpicPath path = make_path(2);
+  auto packet = epic_packet(path.session);
+  for (auto& router : path.routers) (void)router.process(packet, 0, 0);
+  packet.back() ^= 0xFF;
+  EXPECT_EQ(verify_received(path.session, packet), VerifyResult::kBadDataHash);
+}
+
+TEST(Epic, UnstampedPacketFailsProofCheck) {
+  // Packet that never traversed the path: destination sees hop_index 0.
+  EpicPath path = make_path(2);
+  const auto packet = epic_packet(path.session);
+  EXPECT_EQ(verify_received(path.session, packet), VerifyResult::kIncompletePath);
+}
+
+TEST(Epic, WrongSessionRejected) {
+  EpicPath path = make_path(2);
+  auto packet = epic_packet(path.session);
+  for (auto& router : path.routers) (void)router.process(packet, 0, 0);
+  opt::Session other = path.session;
+  other.id[0] ^= 1;
+  const auto h = DipHeader::parse(packet);
+  EXPECT_EQ(epic::verify_packet(other, h->locations,
+                          std::span<const std::uint8_t>(packet).subspan(h->wire_size())),
+            VerifyResult::kBadSession);
+}
+
+TEST(Epic, BlockSizing) {
+  EXPECT_EQ(block_bytes(0), 40u);
+  EXPECT_EQ(block_bytes(8), 72u);
+  EpicPath path = make_path(3);
+  const auto h = make_epic_header(path.session, kPayload, 1);
+  ASSERT_TRUE(h.has_value());
+  // 6 basic + 1 triple + 40 + 3*4 = 64 bytes.
+  EXPECT_EQ(h->wire_size(), 6u + 6u + block_bytes(3));
+}
+
+TEST(Epic, MalformedBlocksRejected) {
+  EpicPath path = make_path(1);
+  core::HeaderBuilder b;
+  std::array<std::uint8_t, 10> tiny{};
+  b.add_router_fn(core::OpKey::kHvf, tiny);
+  auto packet = b.build()->serialize();
+  EXPECT_EQ(path.routers[0].process(packet, 0, 0).reason, DropReason::kMalformed);
+
+  // hop_count lies beyond the block.
+  std::vector<std::uint8_t> block(kFixedBytes, 0);
+  block[37] = 5;  // hop_count 5 but no HVF array
+  core::HeaderBuilder b2;
+  b2.add_router_fn(core::OpKey::kHvf, block);
+  auto packet2 = b2.build()->serialize();
+  EXPECT_EQ(path.routers[0].process(packet2, 0, 0).reason, DropReason::kMalformed);
+}
+
+// The headline comparison: how far does spoofed traffic travel before
+// being dropped? OPT: the whole path (destination drops). EPIC: one hop.
+TEST(Epic, SpoofedTrafficFilteredInNetworkUnlikeOpt) {
+  constexpr std::size_t kHops = 5;
+  crypto::Xoshiro256 rng(0xBAD);
+
+  // --- OPT leg: spoofed packet sails through all routers. ---
+  {
+    std::vector<crypto::Block> secrets;
+    std::vector<Router> routers;
+    for (std::size_t i = 0; i < kHops; ++i) {
+      auto env = netsim::make_basic_env(static_cast<std::uint32_t>(i));
+      secrets.push_back(env.node_secret);
+      env.default_egress = 1;
+      routers.emplace_back(std::move(env), registry().get());
+    }
+    const auto session = opt::negotiate_session(rng.block(), secrets, rng.block());
+    opt::Session spoofed = session;
+    spoofed.destination_key[0] ^= 1;  // forged source
+
+    const std::array<std::uint8_t, 2> payload = {'x', 'x'};
+    auto packet = opt::make_opt_header(spoofed, payload, 1)->serialize();
+    packet.insert(packet.end(), payload.begin(), payload.end());
+
+    std::size_t hops_travelled = 0;
+    for (auto& router : routers) {
+      if (router.process(packet, 0, 0).action != Action::kForward) break;
+      ++hops_travelled;
+    }
+    EXPECT_EQ(hops_travelled, kHops)
+        << "OPT routers cannot tell: the spoof consumes the full path";
+  }
+
+  // --- EPIC leg: same forgery dies at hop 0. ---
+  {
+    EpicPath path = make_path(kHops);
+    opt::Session spoofed = path.session;
+    for (auto& k : spoofed.router_keys) k = rng.block();  // attacker guesses
+
+    auto packet = epic_packet(spoofed);
+    std::size_t hops_travelled = 0;
+    for (auto& router : path.routers) {
+      if (router.process(packet, 0, 0).action != Action::kForward) break;
+      ++hops_travelled;
+    }
+    EXPECT_EQ(hops_travelled, 0u) << "EPIC filters at the first hop";
+  }
+}
+
+}  // namespace
+}  // namespace dip::epic

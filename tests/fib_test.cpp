@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include "dip/crypto/random.hpp"
+#include "dip/fib/address.hpp"
+#include "dip/fib/binary_trie.hpp"
+#include "dip/fib/dir24.hpp"
+#include "dip/fib/lpm.hpp"
+#include "dip/fib/name_fib.hpp"
+#include "dip/fib/patricia.hpp"
+#include "dip/fib/xid_table.hpp"
+
+namespace dip::fib {
+namespace {
+
+// ---------- addresses ----------
+
+TEST(Address, Ipv4ParseFormat) {
+  const auto a = parse_ipv4("192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->bytes[0], 192);
+  EXPECT_EQ(a->bytes[3], 1);
+  EXPECT_EQ(format_ipv4(*a), "192.0.2.1");
+  EXPECT_EQ(ipv4_to_u32(*a), 0xC0000201u);
+  EXPECT_EQ(ipv4_from_u32(0xC0000201u), *a);
+}
+
+TEST(Address, Ipv4ParseRejects) {
+  EXPECT_FALSE(parse_ipv4("256.0.0.1"));
+  EXPECT_FALSE(parse_ipv4("1.2.3"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5"));
+  EXPECT_FALSE(parse_ipv4("a.b.c.d"));
+  EXPECT_FALSE(parse_ipv4(""));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4 "));
+}
+
+TEST(Address, Ipv6ParseFormat) {
+  const auto a = parse_ipv6("2001:db8::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->bytes[0], 0x20);
+  EXPECT_EQ(a->bytes[1], 0x01);
+  EXPECT_EQ(a->bytes[2], 0x0d);
+  EXPECT_EQ(a->bytes[3], 0xb8);
+  EXPECT_EQ(a->bytes[15], 0x01);
+  EXPECT_EQ(format_ipv6(*a), "2001:db8:0:0:0:0:0:1");
+
+  const auto full = parse_ipv6("1:2:3:4:5:6:7:8");
+  ASSERT_TRUE(full);
+  EXPECT_EQ(full->bytes[14], 0);
+  EXPECT_EQ(full->bytes[15], 8);
+
+  const auto all = parse_ipv6("::");
+  ASSERT_TRUE(all);
+  EXPECT_EQ(*all, Ipv6Addr{});
+}
+
+TEST(Address, Ipv6ParseRejects) {
+  EXPECT_FALSE(parse_ipv6("1:2:3"));           // too few groups, no gap
+  EXPECT_FALSE(parse_ipv6("1::2::3"));         // two gaps
+  EXPECT_FALSE(parse_ipv6("12345::"));         // group too wide
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(parse_ipv6("g::"));
+}
+
+TEST(Address, BitAccess) {
+  Ipv4Addr a = ipv4_from_u32(0x80000001);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_TRUE(a.bit(31));
+  a.set_bit(1, true);
+  EXPECT_EQ(ipv4_to_u32(a), 0xC0000001u);
+}
+
+TEST(Prefix, NormalizeAndMatch) {
+  Ipv4Prefix p{ipv4_from_u32(0xC0000201), 16};
+  p.normalize();
+  EXPECT_EQ(ipv4_to_u32(p.addr), 0xC0000000u);
+  EXPECT_TRUE(p.matches(ipv4_from_u32(0xC000FFFF)));
+  EXPECT_FALSE(p.matches(ipv4_from_u32(0xC1000000)));
+
+  const Ipv4Prefix def{{}, 0};
+  EXPECT_TRUE(def.matches(ipv4_from_u32(0xFFFFFFFF)));
+}
+
+// ---------- LPM engines, shared conformance suite ----------
+
+class LpmEngineTest : public ::testing::TestWithParam<LpmEngine> {
+ protected:
+  std::unique_ptr<Ipv4Lpm> table_ = make_lpm<32>(GetParam());
+};
+
+TEST_P(LpmEngineTest, EmptyTableMissesEverything) {
+  EXPECT_FALSE(table_->lookup(ipv4_from_u32(0)));
+  EXPECT_FALSE(table_->lookup(ipv4_from_u32(0xFFFFFFFF)));
+  EXPECT_EQ(table_->size(), 0u);
+}
+
+TEST_P(LpmEngineTest, LongestPrefixWins) {
+  table_->insert({ipv4_from_u32(0x0A000000), 8}, 1);    // 10/8
+  table_->insert({ipv4_from_u32(0x0A010000), 16}, 2);   // 10.1/16
+  table_->insert({ipv4_from_u32(0x0A010100), 24}, 3);   // 10.1.1/24
+  table_->insert({ipv4_from_u32(0x0A010101), 32}, 4);   // 10.1.1.1/32
+
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A010101)).value(), 4u);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A010102)).value(), 3u);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A010201)).value(), 2u);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A020000)).value(), 1u);
+  EXPECT_FALSE(table_->lookup(ipv4_from_u32(0x0B000000)));
+}
+
+TEST_P(LpmEngineTest, DefaultRoute) {
+  table_->insert({{}, 0}, 99);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x12345678)).value(), 99u);
+  table_->insert({ipv4_from_u32(0x12000000), 8}, 7);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x12345678)).value(), 7u);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x99999999)).value(), 99u);
+}
+
+TEST_P(LpmEngineTest, InsertReplaceRemove) {
+  const Prefix<32> p{ipv4_from_u32(0xC0A80000), 16};
+  EXPECT_FALSE(table_->insert(p, 5));
+  EXPECT_EQ(table_->size(), 1u);
+  EXPECT_EQ(table_->insert(p, 6).value(), 5u);  // replace reports old
+  EXPECT_EQ(table_->size(), 1u);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0xC0A80101)).value(), 6u);
+
+  EXPECT_EQ(table_->remove(p).value(), 6u);
+  EXPECT_EQ(table_->size(), 0u);
+  EXPECT_FALSE(table_->lookup(ipv4_from_u32(0xC0A80101)));
+  EXPECT_FALSE(table_->remove(p));  // double remove
+}
+
+TEST_P(LpmEngineTest, RemoveUncoversShorterPrefix) {
+  table_->insert({ipv4_from_u32(0x0A000000), 8}, 1);
+  table_->insert({ipv4_from_u32(0x0A010000), 16}, 2);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A010101)).value(), 2u);
+  table_->remove({ipv4_from_u32(0x0A010000), 16});
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A010101)).value(), 1u);
+}
+
+TEST_P(LpmEngineTest, UnnormalizedPrefixIsNormalized) {
+  // Host bits set in the prefix must be ignored.
+  table_->insert({ipv4_from_u32(0x0A0101FF), 16}, 3);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A01FFFF)).value(), 3u);
+  EXPECT_EQ(table_->remove({ipv4_from_u32(0x0A010000), 16}).value(), 3u);
+}
+
+TEST_P(LpmEngineTest, SlashThirtyOneAndThirtyTwo) {
+  table_->insert({ipv4_from_u32(0x0A000000), 31}, 1);
+  table_->insert({ipv4_from_u32(0x0A000002), 32}, 2);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A000000)).value(), 1u);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A000001)).value(), 1u);
+  EXPECT_EQ(table_->lookup(ipv4_from_u32(0x0A000002)).value(), 2u);
+  EXPECT_FALSE(table_->lookup(ipv4_from_u32(0x0A000003)));
+}
+
+// Property: every engine agrees with the BinaryTrie oracle under random
+// inserts, removals, and lookups.
+TEST_P(LpmEngineTest, AgreesWithOracleUnderRandomWorkload) {
+  BinaryTrie<32> oracle;
+  crypto::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 100);
+
+  std::vector<Prefix<32>> inserted;
+  for (int step = 0; step < 2000; ++step) {
+    const auto action = rng.below(10);
+    if (action < 6 || inserted.empty()) {
+      Prefix<32> p{ipv4_from_u32(rng.u32()),
+                   static_cast<std::uint8_t>(rng.below(33))};
+      p.normalize();
+      const NextHop nh = static_cast<NextHop>(rng.below(1 << 20));
+      const auto a = oracle.insert(p, nh);
+      const auto b = table_->insert(p, nh);
+      EXPECT_EQ(a.has_value(), b.has_value());
+      if (a && b) EXPECT_EQ(*a, *b);
+      inserted.push_back(p);
+    } else if (action < 8) {
+      const auto& p = inserted[rng.below(inserted.size())];
+      const auto a = oracle.remove(p);
+      const auto b = table_->remove(p);
+      EXPECT_EQ(a.has_value(), b.has_value());
+      if (a && b) EXPECT_EQ(*a, *b);
+    } else {
+      // Probe both a random address and a recently inserted one.
+      const Ipv4Addr probe = ipv4_from_u32(rng.u32());
+      EXPECT_EQ(oracle.lookup(probe), table_->lookup(probe));
+      const auto& p = inserted[rng.below(inserted.size())];
+      EXPECT_EQ(oracle.lookup(p.addr), table_->lookup(p.addr));
+    }
+    EXPECT_EQ(oracle.size(), table_->size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, LpmEngineTest,
+                         ::testing::Values(LpmEngine::kBinaryTrie, LpmEngine::kPatricia,
+                                           LpmEngine::kDir24));
+
+// ---------- IPv6 engines ----------
+
+class Lpm6EngineTest : public ::testing::TestWithParam<LpmEngine> {
+ protected:
+  std::unique_ptr<Ipv6Lpm> table_ = make_lpm<128>(GetParam());
+};
+
+TEST_P(Lpm6EngineTest, BasicV6Lpm) {
+  const auto p48 = parse_ipv6("2001:db8:1::").value();
+  const auto p32 = parse_ipv6("2001:db8::").value();
+  table_->insert({p32, 32}, 1);
+  table_->insert({p48, 48}, 2);
+
+  EXPECT_EQ(table_->lookup(parse_ipv6("2001:db8:1::5").value()).value(), 2u);
+  EXPECT_EQ(table_->lookup(parse_ipv6("2001:db8:2::5").value()).value(), 1u);
+  EXPECT_FALSE(table_->lookup(parse_ipv6("2001:db9::1").value()));
+}
+
+TEST_P(Lpm6EngineTest, FullLengthHostRoute) {
+  const auto host = parse_ipv6("2001:db8::42").value();
+  table_->insert({host, 128}, 7);
+  EXPECT_EQ(table_->lookup(host).value(), 7u);
+  EXPECT_FALSE(table_->lookup(parse_ipv6("2001:db8::43").value()));
+}
+
+TEST_P(Lpm6EngineTest, OracleAgreement) {
+  BinaryTrie<128> oracle;
+  crypto::Xoshiro256 rng(77);
+  for (int step = 0; step < 500; ++step) {
+    Ipv6Addr addr;
+    // Cluster prefixes so lookups actually hit.
+    addr.bytes[0] = 0x20;
+    addr.bytes[1] = static_cast<std::uint8_t>(rng.below(4));
+    for (std::size_t i = 2; i < 16; ++i) {
+      addr.bytes[i] = static_cast<std::uint8_t>(rng.next());
+    }
+    Prefix<128> p{addr, static_cast<std::uint8_t>(rng.below(129))};
+    p.normalize();
+    const NextHop nh = static_cast<NextHop>(rng.below(1000));
+    oracle.insert(p, nh);
+    table_->insert(p, nh);
+
+    Ipv6Addr probe = addr;
+    probe.bytes[15] = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(oracle.lookup(probe), table_->lookup(probe));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TrieEngines, Lpm6EngineTest,
+                         ::testing::Values(LpmEngine::kBinaryTrie, LpmEngine::kPatricia));
+
+TEST(LpmFactory, Dir24IsIpv4Only) {
+  EXPECT_EQ(make_lpm<128>(LpmEngine::kDir24), nullptr);
+  EXPECT_NE(make_lpm<32>(LpmEngine::kDir24), nullptr);
+}
+
+TEST(Dir24, RejectsOversizedNextHop) {
+  Dir24 table;
+  EXPECT_FALSE(table.insert({ipv4_from_u32(0), 8}, Dir24::kMaxNextHop + 1));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(ipv4_from_u32(0)));
+}
+
+// ---------- Name / NameFib ----------
+
+TEST(Name, ParseToString) {
+  const Name n = Name::parse("/org/hotnets/prog");
+  ASSERT_EQ(n.component_count(), 3u);
+  EXPECT_EQ(n.component(0), "org");
+  EXPECT_EQ(n.component(2), "prog");
+  EXPECT_EQ(n.to_string(), "/org/hotnets/prog");
+
+  EXPECT_EQ(Name::parse("no/leading/slash").component_count(), 3u);
+  EXPECT_TRUE(Name::parse("/").empty());
+  EXPECT_TRUE(Name::parse("//bad").empty());  // empty component -> rejected
+  EXPECT_EQ(Name{}.to_string(), "/");
+}
+
+TEST(Name, PrefixRelation) {
+  const Name full = Name::parse("/a/b/c");
+  EXPECT_TRUE(Name::parse("/a").is_prefix_of(full));
+  EXPECT_TRUE(Name::parse("/a/b").is_prefix_of(full));
+  EXPECT_TRUE(full.is_prefix_of(full));
+  EXPECT_FALSE(Name::parse("/a/c").is_prefix_of(full));
+  EXPECT_FALSE(Name::parse("/a/b/c/d").is_prefix_of(full));
+  EXPECT_TRUE(Name{}.is_prefix_of(full));  // root prefixes everything
+
+  EXPECT_EQ(full.prefix(2), Name::parse("/a/b"));
+  EXPECT_EQ(full.prefix(9), full);
+}
+
+TEST(NameFib, LongestPrefixMatch) {
+  NameFib fib;
+  fib.insert(Name::parse("/org"), 1);
+  fib.insert(Name::parse("/org/hotnets"), 2);
+  fib.insert(Name::parse("/com/example"), 3);
+
+  EXPECT_EQ(fib.lookup(Name::parse("/org/hotnets/prog/22")).value(), 2u);
+  EXPECT_EQ(fib.lookup(Name::parse("/org/other")).value(), 1u);
+  EXPECT_EQ(fib.lookup(Name::parse("/com/example")).value(), 3u);
+  EXPECT_FALSE(fib.lookup(Name::parse("/net/x")));
+  EXPECT_EQ(fib.size(), 3u);
+}
+
+TEST(NameFib, ExactVsLpm) {
+  NameFib fib;
+  fib.insert(Name::parse("/a"), 1);
+  EXPECT_TRUE(fib.exact(Name::parse("/a")));
+  EXPECT_FALSE(fib.exact(Name::parse("/a/b")));
+  EXPECT_TRUE(fib.lookup(Name::parse("/a/b")));
+}
+
+TEST(NameFib, InsertReplaceRemove) {
+  NameFib fib;
+  const Name n = Name::parse("/x/y");
+  EXPECT_FALSE(fib.insert(n, 1));
+  EXPECT_EQ(fib.insert(n, 2).value(), 1u);
+  EXPECT_EQ(fib.remove(n).value(), 2u);
+  EXPECT_FALSE(fib.remove(n));
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(NameFib, ComponentBoundariesMatter) {
+  // ("ab","c") must not collide with ("a","bc").
+  NameFib fib;
+  fib.insert(Name::parse("/ab/c"), 1);
+  EXPECT_FALSE(fib.exact(Name::parse("/a/bc")));
+  EXPECT_FALSE(fib.lookup(Name::parse("/a/bc")));
+}
+
+TEST(NameFib, RootEntryMatchesEverything) {
+  NameFib fib;
+  fib.insert(Name{}, 42);
+  EXPECT_EQ(fib.lookup(Name::parse("/anything/at/all")).value(), 42u);
+}
+
+// ---------- XID table ----------
+
+TEST(XidTable, PerTypeNamespaces) {
+  XidTable table;
+  Xid x;
+  x.bytes[0] = 0xAB;
+  table.insert(XidType::kAd, x, 1);
+  table.insert(XidType::kHid, x, 2);  // same bits, different principal
+
+  EXPECT_EQ(table.lookup(XidType::kAd, x).value(), 1u);
+  EXPECT_EQ(table.lookup(XidType::kHid, x).value(), 2u);
+  EXPECT_FALSE(table.lookup(XidType::kSid, x));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(XidTable, InsertReplaceRemove) {
+  XidTable table;
+  Xid x;
+  x.bytes[19] = 7;
+  EXPECT_FALSE(table.insert(XidType::kCid, x, 3));
+  EXPECT_EQ(table.insert(XidType::kCid, x, 4).value(), 3u);
+  EXPECT_EQ(table.remove(XidType::kCid, x).value(), 4u);
+  EXPECT_FALSE(table.remove(XidType::kCid, x));
+}
+
+TEST(XidTable, LocalOwnership) {
+  XidTable table;
+  Xid x;
+  x.bytes[5] = 9;
+  EXPECT_FALSE(table.is_local(XidType::kSid, x));
+  table.set_local(XidType::kSid, x);
+  EXPECT_TRUE(table.is_local(XidType::kSid, x));
+  EXPECT_FALSE(table.is_local(XidType::kCid, x));
+}
+
+}  // namespace
+}  // namespace dip::fib

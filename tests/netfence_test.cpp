@@ -1,0 +1,247 @@
+// NetFence-style F_cc: tag codec, MAC protection, bottleneck downgrades,
+// AIMD sender reaction, and the closed control loop over the simulator.
+#include <gtest/gtest.h>
+
+#include "dip/netfence/netfence.hpp"
+#include "dip/netsim/topology.hpp"
+
+namespace dip::netfence {
+namespace {
+
+using core::Action;
+using core::OpKey;
+
+crypto::Block as_key() { return crypto::Xoshiro256(0xA5).block(); }
+
+// ---------- tag codec ----------
+
+TEST(CcTag, ReadWriteRoundTrip) {
+  CcTag tag;
+  tag.action = CcAction::kDown;
+  tag.rate_bps = 123456;
+  tag.mac = crypto::Xoshiro256(1).block();
+
+  std::array<std::uint8_t, kTagBytes> field{};
+  tag.write(field);
+  const CcTag back = CcTag::read(field);
+  EXPECT_EQ(back.action, CcAction::kDown);
+  EXPECT_EQ(back.rate_bps, 123456u);
+  EXPECT_EQ(back.mac, tag.mac);
+}
+
+TEST(CcTag, MacCoversActionAndRate) {
+  std::array<std::uint8_t, kTagBytes> field{};
+  CcTag tag;
+  tag.write(field);
+  tag.mac = CcTag::compute_mac(field, as_key(), crypto::MacKind::kEm2);
+  tag.write(field);
+
+  ASSERT_TRUE(verify_cc_tag(field, as_key()));
+
+  // Forge the action without the key: verification fails.
+  field[0] = 1;
+  EXPECT_FALSE(verify_cc_tag(field, as_key()));
+
+  // Wrong key fails too.
+  field[0] = 0;
+  EXPECT_FALSE(verify_cc_tag(field, crypto::Xoshiro256(0xB6).block()));
+}
+
+// ---------- congestion monitor ----------
+
+TEST(CongestionMonitor, DetectsOverload) {
+  CongestionMonitor::Config config;
+  config.capacity_bytes_per_sec = 1000;
+  config.window = 1 * kMillisecond;
+  CongestionMonitor monitor(config);
+
+  // 1000 B/s capacity = 1 B per ms window. Pour 100 B per window.
+  SimTime now = 0;
+  bool congested = false;
+  for (int w = 0; w < 5; ++w) {
+    for (int i = 0; i < 10; ++i) congested = monitor.on_arrival(10, now);
+    now += config.window;
+  }
+  EXPECT_TRUE(congested);
+}
+
+TEST(CongestionMonitor, QuietLinkStaysUncongested) {
+  CongestionMonitor::Config config;
+  config.capacity_bytes_per_sec = 1'000'000;
+  config.window = 1 * kMillisecond;
+  CongestionMonitor monitor(config);
+
+  SimTime now = 0;
+  for (int w = 0; w < 5; ++w) {
+    EXPECT_FALSE(monitor.on_arrival(10, now));
+    now += config.window;
+  }
+}
+
+// ---------- AIMD ----------
+
+TEST(AimdSender, AdditiveIncreaseMultiplicativeDecrease) {
+  AimdSender::Config config;
+  config.initial_rate = 100'000;
+  config.additive_step = 10'000;
+  config.multiplicative_factor = 0.5;
+  AimdSender sender(config);
+
+  CcTag nop;
+  sender.on_feedback(nop);
+  sender.on_feedback(nop);
+  EXPECT_EQ(sender.rate(), 120'000u);
+
+  CcTag down;
+  down.action = CcAction::kDown;
+  down.rate_bps = 0;  // no advice: plain MD
+  sender.on_feedback(down);
+  EXPECT_EQ(sender.rate(), 60'000u);
+  EXPECT_EQ(sender.decreases(), 1u);
+}
+
+TEST(AimdSender, HonorsTighterBottleneckAdvice) {
+  AimdSender sender;
+  CcTag down;
+  down.action = CcAction::kDown;
+  down.rate_bps = 5'000;  // much tighter than rate/2
+  sender.on_feedback(down);
+  EXPECT_EQ(sender.rate(), 5'000u);
+}
+
+TEST(AimdSender, ClampsToBounds) {
+  AimdSender::Config config;
+  config.initial_rate = 2'000;
+  config.min_rate = 1'000;
+  config.max_rate = 3'000;
+  config.additive_step = 5'000;
+  AimdSender sender(config);
+
+  CcTag nop;
+  sender.on_feedback(nop);
+  EXPECT_EQ(sender.rate(), 3'000u);
+
+  CcTag down;
+  down.action = CcAction::kDown;
+  down.rate_bps = 1;  // advice below the floor
+  sender.on_feedback(down);
+  EXPECT_EQ(sender.rate(), 1'000u);
+}
+
+// ---------- router-level F_cc ----------
+
+struct CcFixture : ::testing::Test {
+  CcFixture() {
+    registry = std::make_shared<core::OpRegistry>();  // per-node: CcOp is stateful
+    CongestionMonitor::Config monitor;
+    monitor.capacity_bytes_per_sec = 1000;  // tiny: easy to congest
+    monitor.window = 1 * kMillisecond;
+    auto op = std::make_unique<CcOp>(as_key(), monitor);
+    cc = op.get();
+    registry->add(std::move(op));
+
+    auto env = netsim::make_basic_env(1);
+    env.default_egress = 1;
+    router.emplace(std::move(env), registry.get());
+  }
+
+  std::vector<std::uint8_t> cc_packet() {
+    core::HeaderBuilder b;
+    add_cc_fn(b, as_key());
+    auto wire = b.build()->serialize();
+    wire.insert(wire.end(), 200, 0xAB);  // fat payload to congest quickly
+    return wire;
+  }
+
+  std::shared_ptr<core::OpRegistry> registry;
+  CcOp* cc = nullptr;
+  std::optional<core::Router> router;
+};
+
+TEST_F(CcFixture, UncongestedTagStaysNopAndVerifies) {
+  auto packet = cc_packet();
+  const auto result = router->process(packet, 0, 0);
+  EXPECT_EQ(result.action, Action::kForward);
+
+  const auto h = core::DipHeader::parse(packet);
+  const auto tag = verify_cc_tag(h->locations, as_key());
+  ASSERT_TRUE(tag.has_value()) << "router re-MACed the tag";
+  EXPECT_EQ(tag->action, CcAction::kNop);
+  EXPECT_EQ(cc->downgrades(), 0u);
+}
+
+TEST_F(CcFixture, BottleneckDowngradesAndSignsTag) {
+  // Overdrive the 1 kB/s monitor: many 200+ B packets within each window.
+  std::optional<CcTag> last;
+  SimTime now = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto packet = cc_packet();
+    (void)router->process(packet, 0, now);
+    now += 10 * kMicrosecond;
+    const auto h = core::DipHeader::parse(packet);
+    last = verify_cc_tag(h->locations, as_key());
+    ASSERT_TRUE(last.has_value());
+  }
+  EXPECT_EQ(last->action, CcAction::kDown);
+  EXPECT_GT(last->rate_bps, 0u);
+  EXPECT_GT(cc->downgrades(), 0u);
+}
+
+TEST_F(CcFixture, ShortTagFieldRejected) {
+  core::HeaderBuilder b;
+  std::array<std::uint8_t, 8> tiny{};
+  b.add_router_fn(OpKey::kCc, tiny);
+  auto packet = b.build()->serialize();
+  const auto result = router->process(packet, 0, 0);
+  EXPECT_EQ(result.action, Action::kDrop);
+  EXPECT_EQ(result.reason, core::DropReason::kMalformed);
+}
+
+// ---------- closed loop: sender slows under congestion ----------
+
+TEST(NetFenceLoop, AimdConvergesBelowBottleneckCapacity) {
+  // Sender floods; the bottleneck stamps kDown; the receiver echoes the
+  // verified tag; the sender halves. After a handful of rounds the send
+  // rate sits at or below capacity.
+  const crypto::Block key = as_key();
+  auto registry = std::make_shared<core::OpRegistry>();
+  CongestionMonitor::Config monitor;
+  monitor.capacity_bytes_per_sec = 50'000;
+  monitor.window = 1 * kMillisecond;
+  registry->add(std::make_unique<CcOp>(key, monitor));
+
+  auto env = netsim::make_basic_env(1);
+  env.default_egress = 1;
+  core::Router bottleneck(std::move(env), registry.get());
+
+  AimdSender::Config sender_config;
+  sender_config.initial_rate = 400'000;  // 8x capacity
+  AimdSender sender(sender_config);
+
+  constexpr std::size_t kPacketSize = 500;
+  SimTime now = 0;
+  for (int round = 0; round < 50; ++round) {
+    // One round = 10 ms of traffic at the current rate.
+    const std::uint64_t packets =
+        std::max<std::uint64_t>(1, sender.rate() * 10 / 1000 / kPacketSize);
+    std::optional<CcTag> echoed;
+    for (std::uint64_t p = 0; p < packets; ++p) {
+      core::HeaderBuilder b;
+      add_cc_fn(b, key);
+      auto wire = b.build()->serialize();
+      wire.insert(wire.end(), kPacketSize - wire.size(), 0);
+      (void)bottleneck.process(wire, 0, now);
+      now += (10 * kMillisecond) / packets;
+      const auto h = core::DipHeader::parse(wire);
+      echoed = verify_cc_tag(h->locations, key);
+    }
+    if (echoed) sender.on_feedback(*echoed);
+  }
+
+  EXPECT_LE(sender.rate(), 60'000u)
+      << "AIMD must settle near/below the 50 kB/s bottleneck";
+  EXPECT_GT(sender.decreases(), 0u);
+}
+
+}  // namespace
+}  // namespace dip::netfence

@@ -1,0 +1,297 @@
+// OPT-over-DIP: session keys, the PVF/OPV chain across routers, destination
+// verification, tamper/path-deviation detection, and Table-2 sizes.
+#include <gtest/gtest.h>
+
+#include "dip/core/router.hpp"
+#include "dip/netsim/dip_node.hpp"
+#include "dip/netsim/topology.hpp"
+#include "dip/opt/opt.hpp"
+
+namespace dip::opt {
+namespace {
+
+using core::Action;
+using core::DipHeader;
+using core::DropReason;
+using core::OpKey;
+using core::Router;
+
+std::shared_ptr<core::OpRegistry> registry() {
+  static auto r = netsim::make_default_registry();
+  return r;
+}
+
+struct OptPath {
+  std::vector<crypto::Block> secrets;
+  std::vector<Router> routers;
+  crypto::Block destination_secret;
+  Session session;
+};
+
+OptPath make_path(std::size_t hops, crypto::MacKind kind = crypto::MacKind::kEm2) {
+  OptPath path;
+  crypto::Xoshiro256 rng(2022);
+  for (std::size_t i = 0; i < hops; ++i) {
+    path.secrets.push_back(rng.block());
+    core::RouterEnv env = netsim::make_basic_env(static_cast<std::uint32_t>(i));
+    env.node_secret = path.secrets.back();
+    env.mac_kind = kind;
+    env.default_egress = 1;  // the paper's port-wired eval
+    path.routers.emplace_back(std::move(env), registry().get());
+  }
+  path.destination_secret = rng.block();
+  path.session =
+      negotiate_session(rng.block(), path.secrets, path.destination_secret, kind);
+  return path;
+}
+
+std::vector<std::uint8_t> packet_with_payload(const DipHeader& h,
+                                              std::span<const std::uint8_t> payload) {
+  auto wire = h.serialize();
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+constexpr std::array<std::uint8_t, 5> kPayload = {'h', 'e', 'l', 'l', 'o'};
+
+TEST(Table2, OptHeaderIs98Bytes) {
+  OptPath path = make_path(1);
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->wire_size(), 98u);
+}
+
+TEST(Table2, NdnOptHeaderIs108Bytes) {
+  OptPath path = make_path(1);
+  const auto h = make_ndn_opt_header(0x11223344, true, path.session, kPayload, 1000);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->wire_size(), 108u);
+}
+
+TEST(OptHeader, TriplesMatchPaperSection3) {
+  const auto fns = opt_fn_triples();
+  ASSERT_EQ(fns.size(), 4u);
+  EXPECT_EQ(fns[0], core::FnTriple::router(128, 128, OpKey::kParm));
+  EXPECT_EQ(fns[1], core::FnTriple::router(0, 416, OpKey::kMac));
+  EXPECT_EQ(fns[2], core::FnTriple::router(288, 128, OpKey::kMark));
+  EXPECT_EQ(fns[3], core::FnTriple::host(0, 544, OpKey::kVer));
+  EXPECT_TRUE(fns[3].host_tagged()) << "F_ver runs on the host, not routers";
+}
+
+// Run the packet through every router in path order; returns the final bytes.
+std::vector<std::uint8_t> traverse(OptPath& path, std::vector<std::uint8_t> packet) {
+  for (auto& router : path.routers) {
+    const auto result = router.process(packet, 0, 0);
+    EXPECT_EQ(result.action, Action::kForward) << "router must forward OPT packets";
+  }
+  return packet;
+}
+
+VerifyResult verify_received(const OptPath& path,
+                             std::span<const std::uint8_t> packet) {
+  const auto header = DipHeader::parse(packet);
+  EXPECT_TRUE(header.has_value());
+  const auto payload =
+      std::span<const std::uint8_t>(packet).subspan(header->wire_size());
+  return verify_packet(path.session, header->locations, payload);
+}
+
+class OptChain : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OptChain, VerifiesAcrossNHops) {
+  OptPath path = make_path(GetParam());
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  const auto received = traverse(path, packet_with_payload(*h, kPayload));
+  EXPECT_EQ(verify_received(path, received), VerifyResult::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(HopCounts, OptChain, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Opt, BothMacPrimitivesVerify) {
+  for (const auto kind : {crypto::MacKind::kEm2, crypto::MacKind::kAesCmac}) {
+    OptPath path = make_path(3, kind);
+    const auto h = make_opt_header(path.session, kPayload, 1000);
+    const auto received = traverse(path, packet_with_payload(*h, kPayload));
+    EXPECT_EQ(verify_received(path, received), VerifyResult::kOk);
+  }
+}
+
+TEST(Opt, TamperedPayloadDetected) {
+  OptPath path = make_path(3);
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  auto received = traverse(path, packet_with_payload(*h, kPayload));
+  received.back() ^= 0xFF;  // payload tampering in flight (after last hop)
+  EXPECT_EQ(verify_received(path, received), VerifyResult::kBadDataHash);
+}
+
+TEST(Opt, ForgedSourceDetected) {
+  // An attacker without the destination key seeds PVF_0 with garbage.
+  OptPath path = make_path(2);
+  Session forged = path.session;
+  forged.destination_key[0] ^= 1;  // attacker guesses wrong K_D
+  const auto h = make_opt_header(forged, kPayload, 1000);
+  const auto received = traverse(path, packet_with_payload(*h, kPayload));
+  EXPECT_EQ(verify_received(path, received), VerifyResult::kBadPvf);
+}
+
+TEST(Opt, SkippedHopDetected) {
+  OptPath path = make_path(3);
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  auto packet = packet_with_payload(*h, kPayload);
+  // Only routers 0 and 2 process the packet (router 1 bypassed).
+  (void)path.routers[0].process(packet, 0, 0);
+  (void)path.routers[2].process(packet, 0, 0);
+  EXPECT_EQ(verify_received(path, packet), VerifyResult::kBadPvf);
+}
+
+TEST(Opt, ReorderedPathDetected) {
+  OptPath path = make_path(3);
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  auto packet = packet_with_payload(*h, kPayload);
+  (void)path.routers[1].process(packet, 0, 0);
+  (void)path.routers[0].process(packet, 0, 0);
+  (void)path.routers[2].process(packet, 0, 0);
+  EXPECT_EQ(verify_received(path, packet), VerifyResult::kBadPvf);
+}
+
+TEST(Opt, ExtraHopDetected) {
+  OptPath path = make_path(2);
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  auto packet = packet_with_payload(*h, kPayload);
+  (void)path.routers[0].process(packet, 0, 0);
+  (void)path.routers[1].process(packet, 0, 0);
+  (void)path.routers[1].process(packet, 0, 0);  // replayed hop
+  EXPECT_NE(verify_received(path, packet), VerifyResult::kOk);
+}
+
+TEST(Opt, WrongSessionDetected) {
+  OptPath path = make_path(2);
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  auto received = traverse(path, packet_with_payload(*h, kPayload));
+
+  Session other = path.session;
+  other.id[5] ^= 0x10;
+  const auto header = DipHeader::parse(received);
+  const auto payload =
+      std::span<const std::uint8_t>(received).subspan(header->wire_size());
+  EXPECT_EQ(verify_packet(other, header->locations, payload),
+            VerifyResult::kBadSession);
+}
+
+TEST(Opt, StaleTimestampDetected) {
+  OptPath path = make_path(1);
+  const auto h = make_opt_header(path.session, kPayload, /*timestamp=*/1000);
+  const auto received = traverse(path, packet_with_payload(*h, kPayload));
+
+  const auto header = DipHeader::parse(received);
+  const auto payload =
+      std::span<const std::uint8_t>(received).subspan(header->wire_size());
+  EXPECT_EQ(verify_packet(path.session, header->locations, payload,
+                          /*now=*/1100, /*window=*/50),
+            VerifyResult::kStale);
+  EXPECT_EQ(verify_packet(path.session, header->locations, payload,
+                          /*now=*/1040, /*window=*/50),
+            VerifyResult::kOk);
+}
+
+TEST(Opt, MacWithoutParmIsCompositionError) {
+  // A header whose F_MAC comes before any F_parm: the router flags it
+  // malformed (scratch has no dynamic key).
+  OptPath path = make_path(1);
+  core::HeaderBuilder b;
+  const auto block = make_source_block(path.session, kPayload, 0);
+  b.add_location(block);
+  b.add_fn(core::FnTriple::router(0, 416, OpKey::kMac));
+  auto packet = b.build()->serialize();
+
+  const auto result = path.routers[0].process(packet, 0, 0);
+  EXPECT_EQ(result.action, Action::kDrop);
+  EXPECT_EQ(result.reason, DropReason::kMalformed);
+}
+
+TEST(Opt, OpvAccumulatesEveryHop) {
+  OptPath path = make_path(3);
+  const auto h = make_opt_header(path.session, kPayload, 1000);
+  auto packet = packet_with_payload(*h, kPayload);
+
+  std::vector<crypto::Block> opv_states;
+  for (auto& router : path.routers) {
+    (void)router.process(packet, 0, 0);
+    const auto header = DipHeader::parse(packet);
+    opv_states.push_back(
+        crypto::block_from(std::span<const std::uint8_t>(header->locations)
+                               .subspan(kOpvOffset, 16)));
+  }
+  EXPECT_NE(opv_states[0], opv_states[1]);
+  EXPECT_NE(opv_states[1], opv_states[2]);
+}
+
+// ---------- NDN+OPT ----------
+
+TEST(NdnOpt, DataChainVerifiesAndFollowsPit) {
+  // Producer-side data packet: F_PIT forwarding + the OPT chain.
+  OptPath path = make_path(2);
+  const std::uint32_t name_code = 0xAABBCCDD;
+
+  // Pre-establish PIT state as if an interest had passed: router 0 and 1
+  // each recorded face 9.
+  for (auto& router : path.routers) {
+    router.env().pit.record_interest(name_code, 9, 0);
+    router.env().default_egress.reset();  // PIT must decide
+  }
+
+  const auto h = make_ndn_opt_header(name_code, /*interest=*/false, path.session,
+                                     kPayload, 1000);
+  ASSERT_TRUE(h);
+  auto packet = packet_with_payload(*h, kPayload);
+
+  for (auto& router : path.routers) {
+    const auto result = router.process(packet, 0, 0);
+    ASSERT_EQ(result.action, Action::kForward);
+    EXPECT_EQ(result.egress, std::vector<core::FaceId>{9});
+  }
+
+  // Destination verifies the OPT chain (block sits at offset 0).
+  EXPECT_EQ(verify_received(path, packet), VerifyResult::kOk);
+}
+
+TEST(NdnOpt, InterestCarriesFibFn) {
+  OptPath path = make_path(1);
+  const auto h = make_ndn_opt_header(1, true, path.session, kPayload, 0);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->fns[0].key(), OpKey::kFib);
+  const auto hd = make_ndn_opt_header(1, false, path.session, kPayload, 0);
+  EXPECT_EQ(hd->fns[0].key(), OpKey::kPit);
+}
+
+// ---------- session negotiation ----------
+
+TEST(Session, KeysMatchRouterDerivation) {
+  crypto::Xoshiro256 rng(4);
+  const std::vector<crypto::Block> secrets{rng.block(), rng.block()};
+  const crypto::Block dest_secret = rng.block();
+  const crypto::SessionId sid = rng.block();
+
+  const Session s = negotiate_session(sid, secrets, dest_secret);
+  ASSERT_EQ(s.router_keys.size(), 2u);
+  // What each router derives per packet equals what negotiation handed out.
+  EXPECT_EQ(s.router_keys[0], crypto::DrKey(secrets[0]).derive(sid));
+  EXPECT_EQ(s.router_keys[1], crypto::DrKey(secrets[1]).derive(sid));
+  EXPECT_EQ(s.destination_key, crypto::DrKey(dest_secret).derive(sid));
+}
+
+TEST(Session, SourceBlockLayout) {
+  OptPath path = make_path(1);
+  const auto block = make_source_block(path.session, kPayload, 0xAABBCCDD);
+  // Session ID at bytes [16,32).
+  EXPECT_TRUE(std::equal(path.session.id.begin(), path.session.id.end(),
+                         block.begin() + kSessionIdOffset));
+  // Timestamp big-endian at [32,36).
+  EXPECT_EQ(block[kTimestampOffset], 0xAA);
+  EXPECT_EQ(block[kTimestampOffset + 3], 0xDD);
+  // OPV starts zeroed.
+  for (std::size_t i = kOpvOffset; i < kBlockBytes; ++i) EXPECT_EQ(block[i], 0);
+}
+
+}  // namespace
+}  // namespace dip::opt

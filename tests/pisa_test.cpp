@@ -1,0 +1,379 @@
+// PISA model: parser state machine on real DIP bytes, match-action tables,
+// pipeline cost accounting, Tofino constraint validation, and the
+// Figure-2-shaped analytical cost ordering.
+#include <gtest/gtest.h>
+
+#include "dip/core/ip.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/pisa/dip_program.hpp"
+#include "dip/pisa/pipeline.hpp"
+
+namespace dip::pisa {
+namespace {
+
+using core::FnTriple;
+using core::OpKey;
+
+// ---------- parser ----------
+
+TEST(Parser, ExtractsDipBasicHeaderAndTriples) {
+  const auto header = core::make_dip32_header(fib::ipv4_from_u32(0xC0000201),
+                                              fib::ipv4_from_u32(0x0A000001));
+  ASSERT_TRUE(header.has_value());
+  const auto wire = header->serialize();
+
+  const Parser parser = build_dip_parser(/*fn_count=*/2, /*locations_bytes=*/8);
+  const auto outcome = parser.parse(wire);
+  ASSERT_TRUE(outcome);
+
+  const Phv& phv = outcome->phv;
+  EXPECT_EQ(phv.get(phv_layout::kFnNum), 2u);
+  EXPECT_EQ(phv.get(phv_layout::kHopLimit), 64u);
+  // First triple: loc 0, len 32 -> container holds 0x00000020.
+  EXPECT_EQ(phv.get(phv_layout::kFnBase), 0x00000020u);
+  EXPECT_EQ(phv.get(phv_layout::kFnBase + 1), 1u);  // key 1 = F_32_match
+  // Locations: destination address in the first loc container.
+  EXPECT_EQ(phv.get(phv_layout::kLocBase), 0xC0000201u);
+  EXPECT_EQ(phv.get(phv_layout::kLocBase + 1), 0x0A000001u);
+  EXPECT_EQ(outcome->consumed, wire.size());
+}
+
+TEST(Parser, RejectsFnNumBeyondLadder) {
+  // A 3-FN packet against a 2-deep ladder: the static if-else cannot handle
+  // it — exactly the §4.1 compromise made observable.
+  core::HeaderBuilder b;
+  std::array<std::uint8_t, 4> field{};
+  const auto loc = b.add_location(field);
+  for (int i = 0; i < 3; ++i) b.add_fn(FnTriple::router(loc, 32, OpKey::kSource));
+  const auto wire = b.build()->serialize();
+
+  const Parser parser = build_dip_parser(2, 4);
+  EXPECT_FALSE(parser.parse(wire));
+}
+
+TEST(Parser, TruncatedPacketRejected) {
+  const Parser parser = build_dip_parser(2, 8);
+  const std::array<std::uint8_t, 4> stub = {0, 2, 64, 0};
+  EXPECT_FALSE(parser.parse(stub));
+}
+
+TEST(Parser, LoopGuardStopsRunawayMachines) {
+  Parser parser;
+  ParserState s;
+  s.advance = 0;
+  s.default_next = 0;  // self-loop
+  parser.add_state(std::move(s));
+  const std::array<std::uint8_t, 8> data{};
+  const auto outcome = parser.parse(data);
+  ASSERT_FALSE(outcome);
+  EXPECT_EQ(outcome.error(), bytes::Error::kOverflow);
+}
+
+// ---------- tables ----------
+
+TEST(MatchTable, ExactMatch) {
+  MatchTable table(MatchKind::kExact, 0);
+  table.add_entry({42, 0, 0, {ActionKind::kSetContainer, 1, 0, 99}});
+  table.set_default_action({ActionKind::kDrop, 0, 0, 0});
+
+  Phv phv;
+  phv.set(0, 42);
+  const Action hit = table.lookup(phv);
+  EXPECT_EQ(hit.kind, ActionKind::kSetContainer);
+
+  phv.set(0, 43);
+  EXPECT_EQ(table.lookup(phv).kind, ActionKind::kDrop);
+}
+
+TEST(MatchTable, LpmPrefersLongerPrefix) {
+  MatchTable table(MatchKind::kLpm, 0);
+  table.add_entry({0x0A000000, 8, 0, {ActionKind::kSetContainer, 1, 0, 1}});
+  table.add_entry({0x0A010000, 16, 0, {ActionKind::kSetContainer, 1, 0, 2}});
+
+  Phv phv;
+  phv.set(0, 0x0A010105);
+  EXPECT_EQ(table.lookup(phv).imm, 2u);
+  phv.set(0, 0x0A020105);
+  EXPECT_EQ(table.lookup(phv).imm, 1u);
+  phv.set(0, 0x0B000000);
+  EXPECT_EQ(table.lookup(phv).kind, ActionKind::kNoop);  // default default
+}
+
+TEST(MatchTable, TernaryPriority) {
+  MatchTable table(MatchKind::kTernary, 0);
+  table.add_entry({0x1000, 0xF000, 1, {ActionKind::kSetContainer, 1, 0, 1}});
+  table.add_entry({0x1200, 0xFF00, 5, {ActionKind::kSetContainer, 1, 0, 2}});
+
+  Phv phv;
+  phv.set(0, 0x1234);
+  EXPECT_EQ(table.lookup(phv).imm, 2u) << "higher priority wins";
+  phv.set(0, 0x1934);
+  EXPECT_EQ(table.lookup(phv).imm, 1u);
+}
+
+TEST(Actions, AluSemantics) {
+  Phv phv;
+  const CostModel m;
+  apply_action({ActionKind::kSetContainer, 3, 0, 7}, phv, m);
+  EXPECT_EQ(phv.get(3), 7u);
+  apply_action({ActionKind::kAdd, 3, 0, 5}, phv, m);
+  EXPECT_EQ(phv.get(3), 12u);
+  apply_action({ActionKind::kXor, 3, 0, 0xF}, phv, m);
+  EXPECT_EQ(phv.get(3), 3u);
+  phv.set(4, 0xFF);
+  apply_action({ActionKind::kXorReg, 3, 4, 0}, phv, m);
+  EXPECT_EQ(phv.get(3), 0xFCu);
+  apply_action({ActionKind::kCopy, 5, 3, 0}, phv, m);
+  EXPECT_EQ(phv.get(5), 0xFCu);
+  apply_action({ActionKind::kDrop, 0, 0, 0}, phv, m);
+  EXPECT_EQ(phv.get(phv_layout::kDropFlag), 1u);
+}
+
+// ---------- pipeline ----------
+
+TEST(Pipeline, StageCostIsMaxOfTables) {
+  CostModel model;
+  Pipeline pipe(model);
+  Stage stage;
+  stage.tables.emplace_back(MatchKind::kExact, 0);   // cost 1
+  stage.tables.emplace_back(MatchKind::kLpm, 1);     // cost 2
+  ASSERT_TRUE(pipe.add_stage(std::move(stage)));
+
+  Phv phv;
+  const auto run = pipe.run(phv);
+  EXPECT_EQ(run.cycles, model.pipeline_transit + model.table_lpm);
+}
+
+TEST(Pipeline, DropShortCircuitsRemainingStages) {
+  Pipeline pipe;
+  Stage s1;
+  MatchTable t(MatchKind::kExact, 0);
+  t.set_default_action({ActionKind::kDrop, 0, 0, 0});
+  s1.tables.push_back(std::move(t));
+  ASSERT_TRUE(pipe.add_stage(std::move(s1)));
+
+  Stage s2;
+  MatchTable t2(MatchKind::kExact, 0);
+  t2.set_default_action({ActionKind::kSetContainer, 9, 0, 1});
+  s2.tables.push_back(std::move(t2));
+  ASSERT_TRUE(pipe.add_stage(std::move(s2)));
+
+  Phv phv;
+  const auto run = pipe.run(phv);
+  EXPECT_TRUE(run.dropped);
+  EXPECT_EQ(phv.get(9), 0u) << "stage 2 must not run after drop";
+}
+
+TEST(Pipeline, ResubmitsCostFullTransits) {
+  CostModel model;
+  Pipeline pipe(model);
+  Phv phv;
+  const auto once = pipe.run(phv);
+  const auto twice = pipe.run_with_resubmits(phv, 1);
+  ASSERT_TRUE(twice);
+  EXPECT_EQ(twice->cycles, 2 * once.cycles + model.resubmit_penalty);
+  EXPECT_EQ(twice->resubmissions, 1u);
+  EXPECT_FALSE(pipe.run_with_resubmits(phv, Pipeline::kMaxResubmits + 1));
+}
+
+TEST(Pipeline, StageBudgetEnforced) {
+  Pipeline pipe;
+  for (std::size_t i = 0; i < Pipeline::kMaxStages; ++i) {
+    ASSERT_TRUE(pipe.add_stage(Stage{}));
+  }
+  EXPECT_FALSE(pipe.add_stage(Stage{}));
+}
+
+// ---------- Tofino constraints ----------
+
+TEST(Constraints, ByteAlignedSlicesRequired) {
+  const FnTriple odd = FnTriple::router(3, 13, OpKey::kSource);
+  const auto st = validate_program({&odd, 1}, 16);
+  ASSERT_FALSE(st);
+  EXPECT_EQ(st.error(), bytes::Error::kMalformed);
+}
+
+TEST(Constraints, LadderDepthEnforced) {
+  std::vector<FnTriple> fns(9, FnTriple::router(0, 32, OpKey::kSource));
+  const auto st = validate_program(fns, 16);
+  ASSERT_FALSE(st);
+  EXPECT_EQ(st.error(), bytes::Error::kUnsupported);
+}
+
+TEST(Constraints, PaperCompositionsAllFit) {
+  // Every §3 composition must satisfy the prototype's constraints.
+  const auto dip32 = core::make_dip32_header(fib::ipv4_from_u32(1), fib::ipv4_from_u32(2));
+  EXPECT_TRUE(validate_program(dip32->fns, dip32->locations.size()));
+
+  const auto ndn = ndn::make_interest_header32(7);
+  EXPECT_TRUE(validate_program(ndn->fns, ndn->locations.size()));
+
+  const auto fns = opt::opt_fn_triples();
+  EXPECT_TRUE(validate_program(fns, opt::kBlockBytes));
+}
+
+// ---------- Figure-2-shaped cost ordering ----------
+
+struct ProtocolCost {
+  const char* name;
+  Cycles cycles;
+};
+
+SwitchCostBreakdown cost_of(std::span<const FnTriple> fns, std::size_t loc_bytes,
+                            bool parallel = false, bool aes = false) {
+  return estimate_protocol_cycles(fns, loc_bytes, default_cost_model(), parallel, aes);
+}
+
+TEST(Figure2Shape, OrderingMatchesPaper) {
+  const auto dip32 = core::make_dip32_header(fib::ipv4_from_u32(1), fib::ipv4_from_u32(2));
+  const auto dip128 = core::make_dip128_header(fib::parse_ipv6("::1").value(),
+                                               fib::parse_ipv6("::2").value());
+  const auto ndn = ndn::make_interest_header32(7);
+  const auto opt_fns = opt::opt_fn_triples();
+
+  const Cycles c32 = cost_of(dip32->fns, dip32->locations.size()).total();
+  const Cycles c128 = cost_of(dip128->fns, dip128->locations.size()).total();
+  const Cycles cndn = cost_of(ndn->fns, ndn->locations.size()).total();
+  const Cycles copt = cost_of(opt_fns, opt::kBlockBytes).total();
+
+  // The Figure 2 shape: IP-style and NDN forwarding are close; OPT is
+  // clearly more expensive (MAC-dominated).
+  EXPECT_LT(c32, copt);
+  EXPECT_LT(c128, copt);
+  EXPECT_LT(cndn, copt);
+  EXPECT_GT(copt, 2 * cndn) << "MAC dominates: a clear gap, not noise";
+
+  // NDN+OPT ~ OPT + a name lookup.
+  std::vector<FnTriple> ndn_opt{FnTriple::router(544, 32, OpKey::kFib)};
+  ndn_opt.insert(ndn_opt.end(), opt_fns.begin(), opt_fns.end());
+  const Cycles cndnopt = cost_of(ndn_opt, opt::kBlockBytes + 4).total();
+  EXPECT_GT(cndnopt, copt);
+  EXPECT_LT(cndnopt - copt, copt / 2);
+}
+
+TEST(Figure2Shape, AesMacNeedsResubmitAndCostsMore) {
+  const auto fns = opt::opt_fn_triples();
+  const auto em2 = cost_of(fns, opt::kBlockBytes, false, /*aes=*/false);
+  const auto aes = cost_of(fns, opt::kBlockBytes, false, /*aes=*/true);
+  EXPECT_EQ(em2.resubmissions, 0u) << "2EM completes in one pass (4.1)";
+  EXPECT_EQ(aes.resubmissions, 1u) << "AES resubmits the packet (4.1)";
+  EXPECT_GT(aes.total(), em2.total());
+}
+
+TEST(Figure2Shape, ParallelFlagReducesCost) {
+  const auto fns = opt::opt_fn_triples();
+  const auto seq = cost_of(fns, opt::kBlockBytes, /*parallel=*/false);
+  const auto par = cost_of(fns, opt::kBlockBytes, /*parallel=*/true);
+  EXPECT_LE(par.total(), seq.total());
+  EXPECT_LT(par.match, seq.match);
+}
+
+TEST(Figure2Shape, HostTaggedFnsCostNothingOnSwitch) {
+  const std::vector<FnTriple> with_ver = opt::opt_fn_triples();
+  std::vector<FnTriple> without_ver(with_ver.begin(), with_ver.end() - 1);
+  const auto a = cost_of(with_ver, opt::kBlockBytes);
+  const auto b = cost_of(without_ver, opt::kBlockBytes);
+  EXPECT_EQ(a.match, b.match);
+  EXPECT_EQ(a.crypto, b.crypto);
+}
+
+TEST(FnProfiles, MacScalesWithCoverage) {
+  const auto small = fn_switch_profile(FnTriple::router(0, 128, OpKey::kMac));
+  const auto large = fn_switch_profile(FnTriple::router(0, 416, OpKey::kMac));
+  EXPECT_LT(small.crypto_rounds, large.crypto_rounds);
+}
+
+}  // namespace
+}  // namespace dip::pisa
+
+// ---------- switch-mode DIP-32 forwarder (differential vs core::Router) ----
+
+#include "dip/netsim/topology.hpp"
+#include "dip/pisa/switch_forwarder.hpp"
+
+namespace dip::pisa {
+namespace {
+
+TEST(SwitchForwarder, ForwardsByLpm) {
+  SwitchForwarder sw;
+  sw.add_route({fib::parse_ipv4("10.0.0.0").value(), 8}, 1);
+  sw.add_route({fib::parse_ipv4("10.1.0.0").value(), 16}, 2);
+
+  const auto h = core::make_dip32_header(fib::parse_ipv4("10.1.2.3").value(),
+                                         fib::parse_ipv4("172.16.0.1").value());
+  const auto outcome = sw.forward(h->serialize());
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->egress.has_value());
+  EXPECT_EQ(*outcome->egress, 2u) << "longest prefix must win on the switch too";
+  EXPECT_GT(outcome->cycles, 0u);
+}
+
+TEST(SwitchForwarder, DropsWithoutRoute) {
+  SwitchForwarder sw;
+  sw.add_route({fib::parse_ipv4("10.0.0.0").value(), 8}, 1);
+  const auto h = core::make_dip32_header(fib::parse_ipv4("11.0.0.1").value(),
+                                         fib::parse_ipv4("172.16.0.1").value());
+  const auto outcome = sw.forward(h->serialize());
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->egress.has_value());
+}
+
+TEST(SwitchForwarder, RejectsTruncatedPackets) {
+  SwitchForwarder sw;
+  const std::array<std::uint8_t, 5> stub = {0, 2, 64, 0, 0};
+  EXPECT_FALSE(sw.forward(stub));
+}
+
+// Differential: software Algorithm-1 router and the PISA program must agree
+// on every packet for the DIP-32 composition.
+TEST(SwitchForwarder, AgreesWithSoftwareRouter) {
+  crypto::Xoshiro256 rng(2024);
+  SwitchForwarder sw;
+  core::RouterEnv env = netsim::make_basic_env(1);
+  const auto registry = netsim::make_default_registry();
+
+  // 50 clustered random routes into both planes.
+  for (int i = 0; i < 50; ++i) {
+    fib::Ipv4Prefix p{fib::ipv4_from_u32(0x0A000000 | (rng.u32() & 0x00FFFFFF)),
+                      static_cast<std::uint8_t>(8 + rng.below(25))};
+    p.normalize();
+    const auto nh = static_cast<fib::NextHop>(rng.below(64));
+    sw.add_route(p, nh);
+    env.fib32->insert(p, nh);
+  }
+  core::Router router(std::move(env), registry.get());
+
+  for (int i = 0; i < 500; ++i) {
+    const auto dst = fib::ipv4_from_u32(0x0A000000 | (rng.u32() & 0x00FFFFFF));
+    const auto h = core::make_dip32_header(dst, fib::ipv4_from_u32(0xC0A80001));
+    auto wire = h->serialize();
+
+    const auto sw_out = sw.forward(wire);
+    ASSERT_TRUE(sw_out.has_value());
+    const auto rt_out = router.process(wire, 0, 0);
+
+    if (rt_out.action == core::Action::kForward) {
+      ASSERT_TRUE(sw_out->egress.has_value()) << "switch dropped, router forwarded";
+      EXPECT_EQ(*sw_out->egress, rt_out.egress.at(0));
+    } else {
+      EXPECT_FALSE(sw_out->egress.has_value()) << "switch forwarded, router dropped";
+    }
+  }
+}
+
+TEST(SwitchForwarder, RuntimeRouteInstallationWorks) {
+  // FIB updates land in the match table without rebuilding the pipeline —
+  // the runtime-programmability story at the table-entry level.
+  SwitchForwarder sw;
+  const auto h = core::make_dip32_header(fib::parse_ipv4("10.9.9.9").value(),
+                                         fib::parse_ipv4("172.16.0.1").value());
+  const auto wire = h->serialize();
+  EXPECT_FALSE(sw.forward(wire)->egress.has_value());
+  sw.add_route({fib::parse_ipv4("10.9.0.0").value(), 16}, 5);
+  EXPECT_EQ(sw.forward(wire)->egress.value(), 5u);
+  EXPECT_EQ(sw.route_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dip::pisa

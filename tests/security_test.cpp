@@ -1,0 +1,231 @@
+// §2.4 security: F_pass labels, FN-unsupported notifications, the poisoning
+// detector, and the dynamic enable-on-attack policy loop.
+#include <gtest/gtest.h>
+
+#include "dip/core/ip.hpp"
+#include "dip/core/router.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/netsim/dip_node.hpp"
+#include "dip/netsim/topology.hpp"
+#include "dip/security/error_message.hpp"
+#include "dip/security/pass.hpp"
+#include "dip/security/poisoning_detector.hpp"
+
+namespace dip::security {
+namespace {
+
+using core::Action;
+using core::DipHeader;
+using core::DropReason;
+using core::OpKey;
+using core::Router;
+
+std::shared_ptr<core::OpRegistry> registry() {
+  static auto r = netsim::make_default_registry();
+  return r;
+}
+
+// ---------- F_pass ----------
+
+std::vector<std::uint8_t> passworthy_packet(const crypto::Block& pass_key,
+                                            std::span<const std::uint8_t> payload,
+                                            bool valid_label) {
+  core::HeaderBuilder b;
+  crypto::Block label = issue_label(pass_key, payload);
+  if (!valid_label) label[0] ^= 0xFF;
+  b.add_router_fn(OpKey::kPass, label);
+  auto wire = b.build()->serialize();
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+struct PassFixture : ::testing::Test {
+  PassFixture() : router(make_env(), registry().get()) {}
+
+  static core::RouterEnv make_env() {
+    core::RouterEnv env = netsim::make_basic_env(1);
+    env.pass_key = crypto::Xoshiro256(55).block();
+    env.default_egress = 2;
+    return env;
+  }
+
+  Router router;
+  std::array<std::uint8_t, 6> payload{1, 2, 3, 4, 5, 6};
+};
+
+TEST_F(PassFixture, EnforcementOffAcceptsAnything) {
+  router.env().enforce_pass = false;
+  auto bad = passworthy_packet(router.env().pass_key, payload, false);
+  EXPECT_EQ(router.process(bad, 0, 0).action, Action::kForward)
+      << "policy off: even bogus labels pass (cheap mode, 2.4)";
+}
+
+TEST_F(PassFixture, EnforcementOnChecksLabels) {
+  router.env().enforce_pass = true;
+
+  auto good = passworthy_packet(router.env().pass_key, payload, true);
+  EXPECT_EQ(router.process(good, 0, 0).action, Action::kForward);
+
+  auto bad = passworthy_packet(router.env().pass_key, payload, false);
+  const auto result = router.process(bad, 0, 0);
+  EXPECT_EQ(result.action, Action::kDrop);
+  EXPECT_EQ(result.reason, DropReason::kPolicyDenied);
+}
+
+TEST_F(PassFixture, LabelBindsThePayload) {
+  router.env().enforce_pass = true;
+  auto packet = passworthy_packet(router.env().pass_key, payload, true);
+  packet.back() ^= 1;  // swap payload after the label was issued
+  EXPECT_EQ(router.process(packet, 0, 0).reason, DropReason::kPolicyDenied);
+}
+
+TEST_F(PassFixture, LabelBoundToAsKey) {
+  router.env().enforce_pass = true;
+  const crypto::Block foreign_key = crypto::Xoshiro256(99).block();
+  auto packet = passworthy_packet(foreign_key, payload, true);
+  EXPECT_EQ(router.process(packet, 0, 0).reason, DropReason::kPolicyDenied)
+      << "labels from another AS's key are invalid here";
+}
+
+// ---------- FN-unsupported notification ----------
+
+TEST(ErrorMessage, SerializeParseRoundTrip) {
+  const FnUnsupportedError e{OpKey::kMac, 42};
+  const auto wire = e.serialize();
+  const auto back = FnUnsupportedError::parse(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->offending_key, OpKey::kMac);
+  EXPECT_EQ(back->reporter_node, 42u);
+  EXPECT_FALSE(FnUnsupportedError::parse(std::span<const std::uint8_t>(wire.data(), 2)));
+}
+
+TEST(ErrorMessage, BuildsNotificationAddressedToSource) {
+  const auto original = core::make_dip32_header(fib::parse_ipv4("10.0.0.9").value(),
+                                                fib::parse_ipv4("172.16.0.1").value());
+  const auto packet = make_fn_unsupported_packet(*original, OpKey::kParm, 7);
+  ASSERT_TRUE(packet);
+
+  const auto header = DipHeader::parse(*packet);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_TRUE(is_fn_unsupported(*header));
+
+  // The notification's destination is the original source.
+  const auto dst = bytes::extract_uint(header->locations, header->fns[0].range());
+  EXPECT_EQ(*dst, fib::ipv4_to_u32(fib::parse_ipv4("172.16.0.1").value()));
+
+  const auto body = FnUnsupportedError::parse(
+      std::span<const std::uint8_t>(*packet).subspan(header->wire_size()));
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->offending_key, OpKey::kParm);
+  EXPECT_EQ(body->reporter_node, 7u);
+}
+
+TEST(ErrorMessage, NoSourceFieldNoNotification) {
+  const auto ndn_header = ndn::make_interest_header32(5);  // no F_source
+  EXPECT_FALSE(make_fn_unsupported_packet(*ndn_header, OpKey::kMac, 1));
+}
+
+TEST(ErrorMessage, Ipv6SourceSupported) {
+  const auto original = core::make_dip128_header(fib::parse_ipv6("::9").value(),
+                                                 fib::parse_ipv6("2001:db8::1").value());
+  const auto packet = make_fn_unsupported_packet(*original, OpKey::kMac, 3);
+  ASSERT_TRUE(packet);
+  const auto header = DipHeader::parse(*packet);
+  EXPECT_EQ(header->fns[0].key(), OpKey::kMatch128);
+}
+
+// End-to-end: a heterogeneous path returns the notification to the sender.
+TEST(ErrorMessage, HeterogeneousPathNotifiesSource) {
+  netsim::Network net;
+  auto path = netsim::make_linear_path(
+      net, 2, registry(), [](std::size_t i) { return netsim::make_basic_env(i); });
+
+  // Both routers route 10/8 downstream and 172.16/12 upstream (reverse path
+  // for the notification).
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& env = path->routers[i]->env();
+    env.fib32->insert({fib::parse_ipv4("10.0.0.0").value(), 8},
+                      path->downstream_face[i]);
+    env.fib32->insert({fib::parse_ipv4("172.16.0.0").value(), 12},
+                      path->upstream_face[i]);
+  }
+  // Router 1 does not support F_MAC (path-critical).
+  path->routers[1]->env().disabled_keys.insert(OpKey::kMac);
+
+  // A DIP-32 packet that also asks for the OPT chain.
+  core::HeaderBuilder b;
+  b.add_router_fn(OpKey::kMatch32, fib::parse_ipv4("10.0.0.9").value().bytes);
+  b.add_router_fn(OpKey::kSource, fib::parse_ipv4("172.16.0.1").value().bytes);
+  std::array<std::uint8_t, 68> opt_block{};
+  const std::uint16_t loc = b.add_location(opt_block);
+  b.add_fn(core::FnTriple::router(loc + 128, 128, OpKey::kParm));
+  b.add_fn(core::FnTriple::router(loc, 416, OpKey::kMac));
+  b.add_fn(core::FnTriple::router(loc + 288, 128, OpKey::kMark));
+
+  std::optional<FnUnsupportedError> notification;
+  path->source.set_receiver([&](netsim::FaceId, netsim::PacketBytes packet, SimTime) {
+    const auto header = DipHeader::parse(packet);
+    ASSERT_TRUE(header.has_value());
+    if (is_fn_unsupported(*header)) {
+      const auto body = FnUnsupportedError::parse(
+          std::span<const std::uint8_t>(packet).subspan(header->wire_size()));
+      ASSERT_TRUE(body.has_value());
+      notification = *body;
+    }
+  });
+
+  path->source.send(path->source_face, b.build()->serialize());
+  net.run();
+
+  ASSERT_TRUE(notification.has_value()) << "source must learn about the gap";
+  EXPECT_EQ(notification->offending_key, OpKey::kMac);
+  EXPECT_EQ(notification->reporter_node, 1u);
+  EXPECT_EQ(path->destination.received(), 0u) << "the packet itself was not delivered";
+}
+
+// ---------- poisoning detector ----------
+
+TEST(PoisoningDetector, SameContentNeverAlarms) {
+  PoisoningDetector detector;
+  const std::vector<std::uint8_t> content = {1, 2, 3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(detector.observe(7, content));
+  }
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(PoisoningDetector, DivergentContentAlarms) {
+  PoisoningDetector::Config config;
+  config.max_digests_per_name = 2;
+  PoisoningDetector detector(config);
+
+  EXPECT_FALSE(detector.observe(7, std::vector<std::uint8_t>{1}));
+  EXPECT_FALSE(detector.observe(7, std::vector<std::uint8_t>{2}));
+  EXPECT_TRUE(detector.observe(7, std::vector<std::uint8_t>{3}));
+  EXPECT_TRUE(detector.alarmed());
+  detector.reset();
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(PoisoningDetector, PerNameTracking) {
+  PoisoningDetector::Config config;
+  config.max_digests_per_name = 1;
+  PoisoningDetector detector(config);
+  EXPECT_FALSE(detector.observe(1, std::vector<std::uint8_t>{1}));
+  EXPECT_FALSE(detector.observe(2, std::vector<std::uint8_t>{2}));
+  EXPECT_TRUE(detector.observe(1, std::vector<std::uint8_t>{9}));
+  EXPECT_EQ(detector.tracked_names(), 2u);
+}
+
+TEST(PoisoningDetector, MemoryBoundHolds) {
+  PoisoningDetector::Config config;
+  config.max_tracked_names = 4;
+  PoisoningDetector detector(config);
+  for (std::uint64_t name = 0; name < 100; ++name) {
+    detector.observe(name, std::vector<std::uint8_t>{1});
+  }
+  EXPECT_LE(detector.tracked_names(), 4u);
+}
+
+}  // namespace
+}  // namespace dip::security

@@ -1,0 +1,121 @@
+// F_int telemetry: per-hop record collection, overflow handling, and
+// integration with other FN compositions (§5 "efficient network telemetry").
+#include <gtest/gtest.h>
+
+#include "dip/core/ip.hpp"
+#include "dip/core/router.hpp"
+#include "dip/netsim/dip_node.hpp"
+#include "dip/netsim/topology.hpp"
+#include "dip/telemetry/telemetry.hpp"
+
+namespace dip::telemetry {
+namespace {
+
+using core::Action;
+using core::DipHeader;
+using core::OpKey;
+using core::Router;
+
+std::shared_ptr<core::OpRegistry> registry() {
+  static auto r = netsim::make_default_registry();
+  return r;
+}
+
+std::vector<std::uint8_t> telemetry_packet(std::size_t max_hops) {
+  core::HeaderBuilder b;
+  add_telemetry_fn(b, max_hops);
+  return b.build()->serialize();
+}
+
+std::span<const std::uint8_t> telemetry_field(const DipHeader& h) {
+  return std::span<const std::uint8_t>(h.locations)
+      .subspan(h.fns[0].field_loc / 8, h.fns[0].range().byte_length());
+}
+
+TEST(Telemetry, EachHopAppendsOneRecord) {
+  std::vector<Router> routers;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto env = netsim::make_basic_env(i + 10);
+    env.default_egress = 1;
+    routers.emplace_back(std::move(env), registry().get());
+  }
+
+  auto packet = telemetry_packet(4);
+  SimTime now = 1000;
+  for (auto& router : routers) {
+    EXPECT_EQ(router.process(packet, /*ingress=*/5, now).action, Action::kForward);
+    now += 500;
+  }
+
+  const auto header = DipHeader::parse(packet);
+  ASSERT_TRUE(header.has_value());
+  const auto report = read_telemetry(telemetry_field(*header));
+  ASSERT_TRUE(report);
+  EXPECT_FALSE(report->overflowed);
+  ASSERT_EQ(report->hops.size(), 3u);
+  EXPECT_EQ(report->hops[0].node_id, 10);
+  EXPECT_EQ(report->hops[1].node_id, 11);
+  EXPECT_EQ(report->hops[2].node_id, 12);
+  EXPECT_EQ(report->hops[0].timestamp_lo, 1000u);
+  EXPECT_EQ(report->hops[2].timestamp_lo, 2000u);
+  EXPECT_EQ(report->hops[0].ingress_face, 5);
+}
+
+TEST(Telemetry, OverflowSetsFlagAndKeepsForwarding) {
+  auto env = netsim::make_basic_env(1);
+  env.default_egress = 1;
+  Router router(std::move(env), registry().get());
+
+  auto packet = telemetry_packet(2);  // room for two records only
+  for (int hop = 0; hop < 4; ++hop) {
+    EXPECT_EQ(router.process(packet, 0, 0).action, Action::kForward)
+        << "telemetry must never break delivery";
+  }
+
+  const auto header = DipHeader::parse(packet);
+  const auto report = read_telemetry(telemetry_field(*header));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->overflowed);
+  EXPECT_EQ(report->hops.size(), 2u);
+}
+
+TEST(Telemetry, ComposesWithIpForwarding) {
+  // DIP's whole point: bolt telemetry onto IP forwarding by appending one FN.
+  auto env = netsim::make_basic_env(3);
+  env.fib32->insert({fib::ipv4_from_u32(0x0A000000), 8}, 9);
+  Router router(std::move(env), registry().get());
+
+  core::HeaderBuilder b;
+  b.add_router_fn(OpKey::kMatch32, fib::ipv4_from_u32(0x0A000001).bytes);
+  b.add_router_fn(OpKey::kSource, fib::ipv4_from_u32(0x0B000001).bytes);
+  add_telemetry_fn(b, 4);
+  auto packet = b.build()->serialize();
+
+  const auto result = router.process(packet, 2, 77);
+  EXPECT_EQ(result.egress, std::vector<core::FaceId>{9});
+
+  const auto header = DipHeader::parse(packet);
+  const auto field = std::span<const std::uint8_t>(header->locations)
+                         .subspan(header->fns[2].field_loc / 8,
+                                  header->fns[2].range().byte_length());
+  const auto report = read_telemetry(field);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_EQ(report->hops.size(), 1u);
+  EXPECT_EQ(report->hops[0].node_id, 3);
+  EXPECT_EQ(report->hops[0].timestamp_lo, 77u);
+}
+
+TEST(Telemetry, ReadRejectsGarbage) {
+  EXPECT_FALSE(read_telemetry(std::vector<std::uint8_t>{}));
+  // Count claims more records than the field holds.
+  const std::vector<std::uint8_t> lying = {9, 0, 1, 2, 3};
+  EXPECT_FALSE(read_telemetry(lying));
+}
+
+TEST(Telemetry, FieldSizing) {
+  EXPECT_EQ(telemetry_field_bytes(0), 2u);
+  EXPECT_EQ(telemetry_field_bytes(4), 2u + 32u);
+}
+
+}  // namespace
+}  // namespace dip::telemetry

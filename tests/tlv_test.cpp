@@ -1,0 +1,258 @@
+// NDN TLV codec and the NDN↔DIP gateway.
+#include <gtest/gtest.h>
+
+#include "dip/crypto/random.hpp"
+#include "dip/ndn/gateway.hpp"
+#include "dip/ndn/tlv.hpp"
+
+namespace dip::ndn::tlv {
+namespace {
+
+using fib::Name;
+
+// ---------- varnum ----------
+
+TEST(VarNum, EncodingBoundaries) {
+  struct Case {
+    std::uint64_t value;
+    std::size_t encoded_size;
+  };
+  for (const auto [value, size] : {Case{0, 1}, Case{252, 1}, Case{253, 3},
+                                   Case{0xffff, 3}, Case{0x10000, 5},
+                                   Case{0xffffffff, 5}, Case{0x100000000, 9}}) {
+    std::vector<std::uint8_t> out;
+    write_varnum(out, value);
+    EXPECT_EQ(out.size(), size) << value;
+    std::size_t pos = 0;
+    EXPECT_EQ(read_varnum(out, pos).value(), value);
+    EXPECT_EQ(pos, out.size());
+  }
+}
+
+TEST(VarNum, TruncationRejected) {
+  std::vector<std::uint8_t> out;
+  write_varnum(out, 0x12345);
+  for (std::size_t cut = 0; cut < out.size(); ++cut) {
+    std::size_t pos = 0;
+    EXPECT_FALSE(read_varnum(std::span<const std::uint8_t>(out.data(), cut), pos));
+  }
+}
+
+// ---------- TLV elements ----------
+
+TEST(Tlv, RoundTripAndKnownBytes) {
+  std::vector<std::uint8_t> out;
+  const std::array<std::uint8_t, 3> value = {'a', 'b', 'c'};
+  write_tlv(out, kGenericComponent, value);
+  // 0x08 (type) 0x03 (len) 'a' 'b' 'c'
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0x08, 0x03, 'a', 'b', 'c'}));
+
+  std::size_t pos = 0;
+  const auto element = read_tlv(out, pos);
+  ASSERT_TRUE(element.has_value());
+  EXPECT_EQ(element->type, kGenericComponent);
+  EXPECT_TRUE(std::ranges::equal(element->value, value));
+}
+
+TEST(Tlv, LengthBeyondBufferRejected) {
+  const std::vector<std::uint8_t> lying = {0x08, 0x7f, 'a'};
+  std::size_t pos = 0;
+  EXPECT_FALSE(read_tlv(lying, pos));
+}
+
+// ---------- names ----------
+
+TEST(TlvName, RoundTrip) {
+  const Name name = Name::parse("/hotnets/org/dip");
+  std::vector<std::uint8_t> out;
+  write_name(out, name);
+
+  std::size_t pos = 0;
+  const auto element = read_tlv(out, pos);
+  ASSERT_TRUE(element.has_value());
+  EXPECT_EQ(element->type, kName);
+  const auto back = parse_name(element->value);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, name);
+}
+
+TEST(TlvName, KnownEncoding) {
+  // /a -> Name(0x07) len 3: Component(0x08) len 1 'a'
+  std::vector<std::uint8_t> out;
+  write_name(out, Name::parse("/a"));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0x07, 0x03, 0x08, 0x01, 'a'}));
+}
+
+// ---------- interest ----------
+
+TEST(TlvInterest, RoundTrip) {
+  Interest interest;
+  interest.name = Name::parse("/cdn/movie/seg1");
+  interest.can_be_prefix = true;
+  interest.must_be_fresh = true;
+  interest.nonce = 0xDEADBEEF;
+  interest.lifetime_ms = 4000;
+
+  const auto wire = interest.encode();
+  EXPECT_EQ(wire[0], kInterest);
+
+  const auto back = Interest::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, interest.name);
+  EXPECT_TRUE(back->can_be_prefix);
+  EXPECT_TRUE(back->must_be_fresh);
+  EXPECT_EQ(back->nonce, 0xDEADBEEFu);
+  EXPECT_EQ(back->lifetime_ms.value(), 4000u);
+}
+
+TEST(TlvInterest, MinimalAndUnknownFieldsTolerated) {
+  Interest interest;
+  interest.name = Name::parse("/x");
+  auto wire = interest.encode();
+  // Splice an unknown non-critical TLV (type 0x60) into the body.
+  // Outer: type(1) len(1); insert at end of body and fix the outer length.
+  wire.insert(wire.end(), {0x60, 0x01, 0x77});
+  wire[1] = static_cast<std::uint8_t>(wire[1] + 3);
+  const auto back = Interest::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, interest.name);
+}
+
+TEST(TlvInterest, RejectsMissingNameAndGarbage) {
+  const std::vector<std::uint8_t> no_name = {0x05, 0x02, 0x21, 0x00};
+  EXPECT_FALSE(Interest::decode(no_name));
+  EXPECT_FALSE(Interest::decode(std::vector<std::uint8_t>{0x06, 0x00}));
+  EXPECT_FALSE(Interest::decode({}));
+}
+
+// ---------- data ----------
+
+TEST(TlvData, RoundTripWithDigest) {
+  Data data;
+  data.name = Name::parse("/cdn/movie/seg1");
+  data.freshness_ms = 10'000;
+  data.content = {'m', 'p', '4'};
+  const auto wire = data.encode();
+
+  const auto back = Data::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, data.name);
+  EXPECT_EQ(back->freshness_ms.value(), 10'000u);
+  EXPECT_EQ(back->content, data.content);
+  EXPECT_EQ(back->digest, back->compute_digest()) << "digest validates";
+
+  // Tampered content breaks the digest.
+  Data tampered = *back;
+  tampered.content[0] ^= 1;
+  EXPECT_NE(tampered.digest, tampered.compute_digest());
+}
+
+TEST(TlvData, FuzzNeverCrashes) {
+  crypto::Xoshiro256 rng(0x71f);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint8_t> blob(rng.below(120));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next());
+    (void)Data::decode(blob);
+    (void)Interest::decode(blob);
+    std::size_t pos = 0;
+    (void)read_tlv(blob, pos);
+  }
+  SUCCEED();
+}
+
+// ---------- gateway ----------
+
+TEST(Gateway, InterestDataRoundTripAcrossDip) {
+  Gateway gw;
+  Interest interest;
+  interest.name = Name::parse("/cdn/movie");
+  interest.nonce = 7;
+
+  // Native -> DIP: a 16-byte DIP interest (§4.1 / Table 2).
+  const auto dip_interest = gw.interest_to_dip(interest);
+  ASSERT_TRUE(dip_interest.has_value());
+  EXPECT_EQ(dip_interest->size(), 16u);
+  EXPECT_EQ(gw.pending(), 1u);
+
+  // DIP domain answers with a data packet for the same code.
+  const auto code = encode_name32(interest.name);
+  auto dip_data = make_data_header32(code)->serialize();
+  dip_data.insert(dip_data.end(), {'o', 'k'});
+
+  // DIP -> native: the gateway re-expands the full name.
+  const auto data = gw.dip_to_data(dip_data);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->name, interest.name);
+  EXPECT_EQ(data->content, (std::vector<std::uint8_t>{'o', 'k'}));
+  EXPECT_EQ(data->digest, data->compute_digest());
+  EXPECT_EQ(gw.pending(), 0u) << "mapping consumed with the data";
+}
+
+TEST(Gateway, UnsolicitedDataRejected) {
+  Gateway gw;
+  auto dip_data = make_data_header32(0x12345678)->serialize();
+  const auto out = gw.dip_to_data(dip_data);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error(), bytes::Error::kState);
+}
+
+TEST(Gateway, CodeCollisionRefusedNotMisdelivered) {
+  // Craft two names with the same 32-bit code is hard on demand; instead
+  // simulate by asking for the same code twice with different names via a
+  // forced alias: same first component, then brute-force a second name
+  // whose code matches.
+  Gateway gw;
+  const Name a = Name::parse("/x/a");
+  const std::uint32_t code_a = encode_name32(a);
+
+  Interest ia;
+  ia.name = a;
+  ASSERT_TRUE(gw.interest_to_dip(ia).has_value());
+
+  // Find a colliding sibling (8-bit per-component hashes: ~1/256 per try).
+  std::optional<Name> collider;
+  for (int i = 0; i < 100000; ++i) {
+    const Name candidate = Name::parse("/x/c" + std::to_string(i));
+    if (candidate == a) continue;
+    if (encode_name32(candidate) == code_a) {
+      collider = candidate;
+      break;
+    }
+  }
+  ASSERT_TRUE(collider.has_value()) << "no collision in 100k tries (unexpected)";
+
+  Interest ib;
+  ib.name = *collider;
+  const auto out = gw.interest_to_dip(ib);
+  ASSERT_FALSE(out.has_value()) << "colliding live names must be refused";
+  EXPECT_EQ(gw.collisions(), 1u);
+
+  // Same name again is fine (idempotent retransmission).
+  EXPECT_TRUE(gw.interest_to_dip(ia).has_value());
+}
+
+TEST(Gateway, ProducerSideTranslations) {
+  Gateway gw;
+  Interest interest;
+  interest.name = Name::parse("/pub/obj");
+  const auto dip_interest = gw.interest_to_dip(interest);
+  ASSERT_TRUE(dip_interest.has_value());
+
+  // DIP -> native interest (the gateway remembers the name).
+  const auto back = gw.dip_to_interest(*dip_interest);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, interest.name);
+
+  // Native data -> DIP data packet.
+  Data data;
+  data.name = interest.name;
+  data.content = {'d'};
+  const auto dip_data = gw.data_to_dip(data);
+  const auto header = core::DipHeader::parse(dip_data);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->fns[0].key(), core::OpKey::kPit);
+  EXPECT_EQ(extract_name_code(*header).value(), encode_name32(interest.name));
+}
+
+}  // namespace
+}  // namespace dip::ndn::tlv
