@@ -1,0 +1,227 @@
+// Fast-path benchmark: process_batch + flow cache + RouterPool sharding.
+//
+// Sweeps batch size {1,8,32,128} and pool workers {1,2,4} over a Zipf(0.99)
+// flow mix (heavy-tailed destinations, the traffic shape the flow cache is
+// built for) on two workloads:
+//   * DIP-32  — 512-prefix /24 FIB, 4096 distinct destinations;
+//   * NDN     — interest forwarding over the name-code FIB (the flow cache
+//               does not apply to F_FIB; this isolates the batching gain).
+//
+// The baseline legs are the seed path: flow cache off, one process() call
+// per packet. Every leg copies each packet from a template before
+// processing (packets are mutated in place), so the copy cost is identical
+// across variants and the deltas are pipeline effects only.
+//
+// JSON output (--benchmark_format=json) carries items_per_second and a
+// cache_hit_rate counter per leg for BENCH_* trajectory tracking.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "dip/core/flow_cache.hpp"
+#include "dip/core/router_pool.hpp"
+
+namespace dip::bench {
+namespace {
+
+constexpr std::size_t kFibPrefixes = 512;    // /24s under 10.0.0.0/9
+constexpr std::size_t kFlowUniverse = 4096;  // distinct destinations
+constexpr std::size_t kTraceLen = 16384;
+constexpr std::size_t kCacheSlots = 16384;   // >= universe: capacity misses gone
+constexpr double kZipfExponent = 0.99;
+
+std::uint32_t flow_addr(std::size_t flow) {
+  // Spread the universe across every prefix: 8 hosts per /24.
+  return 0x0A000000u | (static_cast<std::uint32_t>(flow % kFibPrefixes) << 8) |
+         static_cast<std::uint32_t>(flow / kFibPrefixes + 1);
+}
+
+void install_prefixes(fib::Ipv4Lpm& fib) {
+  for (std::size_t i = 0; i < kFibPrefixes; ++i) {
+    fib.insert({fib::ipv4_from_u32(0x0A000000u | (static_cast<std::uint32_t>(i) << 8)), 24},
+               static_cast<core::FaceId>(1 + i % 8));
+  }
+}
+
+core::RouterEnv pipeline_env(bool with_cache) {
+  core::RouterEnv env = netsim::make_basic_env(1);
+  env.flow_cache = with_cache ? std::make_unique<core::FlowCache>(kCacheSlots) : nullptr;
+  install_prefixes(*env.fib32);
+  return env;
+}
+
+/// Zipf(0.99) index trace, sampled once and replayed by every leg.
+const std::vector<std::size_t>& zipf_trace() {
+  static const std::vector<std::size_t> trace = [] {
+    netsim::ZipfSampler zipf(kFlowUniverse, kZipfExponent, 0x21F);
+    std::vector<std::size_t> t(kTraceLen);
+    for (auto& idx : t) idx = zipf.sample();
+    return t;
+  }();
+  return trace;
+}
+
+const std::vector<std::vector<std::uint8_t>>& dip32_templates() {
+  static const std::vector<std::vector<std::uint8_t>> templates = [] {
+    std::vector<std::vector<std::uint8_t>> t(kFlowUniverse);
+    for (std::size_t f = 0; f < kFlowUniverse; ++f) {
+      t[f] = core::make_dip32_header(fib::ipv4_from_u32(flow_addr(f)),
+                                     fib::parse_ipv4("172.16.0.1").value())
+                 ->serialize();
+    }
+    return t;
+  }();
+  return templates;
+}
+
+const std::vector<std::vector<std::uint8_t>>& ndn_templates() {
+  static const std::vector<std::vector<std::uint8_t>> templates = [] {
+    std::vector<std::vector<std::uint8_t>> t(kFlowUniverse);
+    for (std::size_t f = 0; f < kFlowUniverse; ++f) {
+      t[f] = ndn::make_interest_header32(flow_addr(f))->serialize();
+    }
+    return t;
+  }();
+  return templates;
+}
+
+void report_cache_rate(benchmark::State& state,
+                       const telemetry::CounterSnapshot& before,
+                       const telemetry::CounterSnapshot& after) {
+  const double hits = static_cast<double>(after.flow_cache_hits - before.flow_cache_hits);
+  const double misses =
+      static_cast<double>(after.flow_cache_misses - before.flow_cache_misses);
+  state.counters["cache_hit_rate"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0.0;
+}
+
+// ---- seed baseline: cache off, one process() per packet -------------------
+
+void run_baseline(benchmark::State& state,
+                  const std::vector<std::vector<std::uint8_t>>& templates) {
+  core::Router router(pipeline_env(/*with_cache=*/false), shared_registry().get());
+  const auto& trace = zipf_trace();
+
+  std::vector<std::uint8_t> packet = templates[0];
+  std::size_t pos = 0;
+  const auto before = router.env().counters.snapshot();
+  for (auto _ : state) {
+    const auto& tmpl = templates[trace[pos]];
+    if (++pos == trace.size()) pos = 0;
+    packet.assign(tmpl.begin(), tmpl.end());
+    benchmark::DoNotOptimize(router.process(packet, 0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report_cache_rate(state, before, router.env().counters.snapshot());
+}
+
+void BM_DIP32_Baseline(benchmark::State& state) { run_baseline(state, dip32_templates()); }
+void BM_NDN_Baseline(benchmark::State& state) { run_baseline(state, ndn_templates()); }
+
+// ---- batched path: cache on, process_batch over a reused burst ------------
+
+void run_batch(benchmark::State& state,
+               const std::vector<std::vector<std::uint8_t>>& templates) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  core::Router router(pipeline_env(/*with_cache=*/true), shared_registry().get());
+  const auto& trace = zipf_trace();
+
+  std::vector<std::vector<std::uint8_t>> bufs(batch, templates[0]);
+  std::vector<core::PacketRef> refs(batch);
+  std::vector<core::ProcessResult> results(batch);
+  std::size_t pos = 0;
+  const auto before = router.env().counters.snapshot();
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto& tmpl = templates[trace[pos]];
+      if (++pos == trace.size()) pos = 0;
+      bufs[b].assign(tmpl.begin(), tmpl.end());
+      refs[b] = core::PacketRef(bufs[b]);
+    }
+    router.process_batch(refs, 0, 0, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  report_cache_rate(state, before, router.env().counters.snapshot());
+}
+
+void BM_DIP32_Batch(benchmark::State& state) { run_batch(state, dip32_templates()); }
+void BM_NDN_Batch(benchmark::State& state) { run_batch(state, ndn_templates()); }
+
+// ---- sharded pool: N workers, 32-packet bursts, recycled buffers ----------
+
+void BM_DIP32_Pool(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChunk = 4096;  // packets submitted per drain cycle
+
+  // All workers share one route table; caches are per worker.
+  core::RouterEnv base = pipeline_env(/*with_cache=*/true);
+  const auto fib32 = base.fib32;
+
+  // Completed packets return their buffers through per-worker SPSC rings
+  // (worker = producer, bench thread = consumer), so the steady-state
+  // submit path allocates nothing and takes no lock.
+  std::vector<std::unique_ptr<core::SpscRing<std::vector<std::uint8_t>>>> returns;
+  for (std::size_t i = 0; i < std::max<std::size_t>(workers, 1); ++i) {
+    returns.push_back(
+        std::make_unique<core::SpscRing<std::vector<std::uint8_t>>>(2 * kChunk));
+  }
+
+  core::RouterPoolConfig config;
+  config.workers = workers;
+  config.ring_capacity = 2 * kChunk;
+  config.max_batch = 32;
+  // Chunk-and-drain dispatch: let the whole chunk queue up, then one wake
+  // per worker per drain (park/wake churn would otherwise dominate).
+  config.wake_batch = kChunk;
+  core::RouterPool pool(
+      shared_registry().get(),
+      [&fib32](std::size_t i) {
+        core::RouterEnv env = netsim::make_basic_env(static_cast<std::uint32_t>(i));
+        env.fib32 = fib32;
+        env.flow_cache = std::make_unique<core::FlowCache>(kCacheSlots);
+        return env;
+      },
+      config,
+      [&](std::size_t worker, core::RouterPool::Item& item, core::ProcessResult&) {
+        (void)returns[worker]->try_push(std::move(item.packet));
+      });
+
+  const auto& templates = dip32_templates();
+  const auto& trace = zipf_trace();
+  std::size_t pos = 0;
+  std::size_t next_return = 0;
+  const auto before = pool.counters();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      std::vector<std::uint8_t> buf;
+      for (std::size_t r = 0; r < returns.size(); ++r) {
+        next_return = (next_return + 1) % returns.size();
+        if (returns[next_return]->try_pop(buf)) break;
+      }
+      const auto& tmpl = templates[trace[pos]];
+      if (++pos == trace.size()) pos = 0;
+      buf.assign(tmpl.begin(), tmpl.end());
+      pool.submit(std::move(buf), 0, 0);
+    }
+    pool.drain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+  report_cache_rate(state, before, pool.counters());
+  pool.stop();
+}
+
+BENCHMARK(BM_DIP32_Baseline);
+BENCHMARK(BM_NDN_Baseline);
+BENCHMARK(BM_DIP32_Batch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_NDN_Batch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_DIP32_Pool)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

@@ -32,4 +32,12 @@ cmake --build build-san
 echo "== tests under sanitizers =="
 ctest --test-dir build-san --output-on-failure
 
+echo "== TSan build (RouterPool / SpscRing concurrency) =="
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
+  >/dev/null
+cmake --build build-tsan --target pipeline_test
+
+echo "== pipeline tests under TSan =="
+ctest --test-dir build-tsan -R pipeline_test --output-on-failure
+
 echo "ALL CHECKS PASSED"

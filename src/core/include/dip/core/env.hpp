@@ -4,6 +4,11 @@
 // are (mostly) stateless and read/write the node state collected here:
 // forwarding tables, PIT, content store, and the node's cryptographic
 // secrets. One RouterEnv == one DIP-capable node's data plane state.
+//
+// Sharding note (RouterPool): the FIBs and XID table are shared_ptr so N
+// worker environments can share one read-mostly route table, while PIT,
+// content store, and the flow cache stay strictly per-worker — flow-affine
+// sharding guarantees a flow only ever touches one worker's state.
 #pragma once
 
 #include <array>
@@ -19,7 +24,9 @@
 #include "dip/fib/xid_table.hpp"
 #include "dip/pit/content_store.hpp"
 #include "dip/pit/pit.hpp"
+#include "dip/core/flow_cache.hpp"
 #include "dip/core/fn.hpp"
+#include "dip/telemetry/counters.hpp"
 
 namespace dip::core {
 
@@ -34,11 +41,16 @@ struct RouterEnv {
   std::uint32_t node_id = 0;
 
   // ---- forwarding state -------------------------------------------------
-  std::unique_ptr<fib::Ipv4Lpm> fib32;    ///< used by F_32_match and F_FIB
-  std::unique_ptr<fib::Ipv6Lpm> fib128;   ///< used by F_128_match
+  // Read-mostly and shareable across RouterPool workers (mutate only while
+  // the data path is quiesced).
+  std::shared_ptr<fib::Ipv4Lpm> fib32;    ///< used by F_32_match and F_FIB
+  std::shared_ptr<fib::Ipv6Lpm> fib128;   ///< used by F_128_match
+  std::shared_ptr<fib::XidTable> xid_table;  ///< used by F_DAG / F_intent (XIA)
+  // Strictly per-worker flow state.
   pit::Pit pit;                           ///< used by F_PIT
-  std::unique_ptr<fib::XidTable> xid_table;  ///< used by F_DAG / F_intent (XIA)
   std::optional<pit::ContentStore> content_store;  ///< footnote-2 extension
+  /// Exact-match memo in front of F_32_match/F_128_match (nullptr = off).
+  std::unique_ptr<FlowCache> flow_cache;
   /// Fallback egress when no match FN decided (models the paper's one-hop
   /// port-wired eval topology); kNoRoute-like nullopt means "drop".
   std::optional<FaceId> default_egress;
@@ -63,17 +75,10 @@ struct RouterEnv {
   ResourceLimits limits;
 
   // ---- bookkeeping ---------------------------------------------------------
-  struct Counters {
-    std::uint64_t processed = 0;
-    std::uint64_t forwarded = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t fn_executed = 0;
-    std::uint64_t fn_skipped_host = 0;
-    std::uint64_t fn_skipped_optional = 0;
-    /// Executions per operation key (indexed by the low key bits).
-    std::array<std::uint64_t, 32> fn_by_key{};
-  } counters;
+  /// Relaxed-atomic counters (see dip/telemetry/counters.hpp): per-worker
+  /// routers can expose them to a telemetry thread without data races.
+  using Counters = telemetry::RouterCounters;
+  Counters counters;
 
   [[nodiscard]] std::uint64_t executions_of(OpKey key) const {
     return counters.fn_by_key[static_cast<std::size_t>(key) %

@@ -93,6 +93,12 @@ struct FnInfo {
                                     ///< silently skippable (false)
   std::uint32_t base_cost = 1;      ///< abstract per-invocation cost units,
                                     ///< consumed from the packet's budget
+  /// Whether executions of this FN commute with other order-independent FNs
+  /// on disjoint fields (no OpScratch coupling, no cross-FN verdict or
+  /// per-flow-state dependence). Gates the §2.2 modular-parallelism bit:
+  /// the batch path may relax FN ordering only when every router-side FN in
+  /// the packet is order-independent.
+  bool order_independent = false;
 };
 
 /// Static registry of the FNs this prototype defines.

@@ -1,0 +1,96 @@
+// Single-producer/single-consumer ring buffer.
+//
+// The ingress queue between the RouterPool's dispatcher thread and one
+// worker: bounded, allocation-free after construction, and lock-free on the
+// fast path (one release store per side). Classic Lamport queue with
+// cached indices so each side usually touches only its own cache line.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dip::core {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2 slots).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t p = 2;
+    while (p < capacity) p <<= 1;
+    slots_.resize(p);
+    mask_ = p - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Returns false when full.
+  [[nodiscard]] bool try_push(T&& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop up to out.size() items; returns the count. One
+  /// acquire load amortized over the whole burst.
+  [[nodiscard]] std::size_t pop_bulk(std::span<T> out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t available = tail_cache_ - head;
+    if (available == 0) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      available = tail_cache_ - head;
+      if (available == 0) return 0;
+    }
+    const std::size_t n = available < out.size() ? available : out.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Either side: a (possibly stale) emptiness check.
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Either side: a (possibly stale) occupancy estimate.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer index
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer index
+  alignas(64) std::size_t head_cache_ = 0;        // producer's view of head_
+};
+
+}  // namespace dip::core

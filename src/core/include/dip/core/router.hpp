@@ -12,10 +12,24 @@
 //   * kUnrolled  — a fixed if-else ladder on FN_Num mirroring the Tofino
 //                  compromise of §4.1 ("the simple if-else statement with
 //                  FN_Num to determine how many field operations to perform").
+//
+// The fast path is process_batch: a run-to-completion, two-phase burst
+// pipeline. Phase one binds every HeaderView and validates structure for
+// the whole burst (branch-predictable, cache friendly); phase two
+// dispatches FNs packet by packet. process() is a thin batch-of-one
+// wrapper, so both paths share one semantics. Per-FN module lookup goes
+// through a dense, registry-epoch-validated table instead of the hash map,
+// and the match FNs consult the RouterEnv flow cache before walking the
+// FIB (see flow_cache.hpp).
+//
+// A Router is single-threaded by design; RouterPool shards packets across
+// N routers for multi-core operation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "dip/bytes/time.hpp"
 #include "dip/core/env.hpp"
@@ -27,6 +41,17 @@ namespace dip::core {
 
 enum class DispatchStrategy : std::uint8_t { kLoop, kUnrolled };
 
+/// One slot of a burst handed to Router::process_batch: a view over the
+/// full mutable packet bytes (header + payload; tag fields are rewritten
+/// in place).
+struct PacketRef {
+  std::span<std::uint8_t> bytes;
+
+  PacketRef() = default;
+  PacketRef(std::span<std::uint8_t> b) : bytes(b) {}
+  PacketRef(std::vector<std::uint8_t>& owned) : bytes(owned) {}
+};
+
 class Router {
  public:
   Router(RouterEnv env, const OpRegistry* registry,
@@ -34,9 +59,21 @@ class Router {
       : env_(std::move(env)), registry_(registry), strategy_(strategy) {}
 
   /// Process one DIP packet in place (tag fields may be rewritten).
-  /// `packet` is the full DIP packet: header + payload.
+  /// `packet` is the full DIP packet: header + payload. Thin wrapper over a
+  /// batch of one.
   [[nodiscard]] ProcessResult process(std::span<std::uint8_t> packet, FaceId ingress,
                                       SimTime now);
+
+  /// Process a burst run-to-completion; results[i] is packet[i]'s verdict.
+  /// `results.size()` must be >= `packets.size()`; slots are reset (their
+  /// egress capacity is reused, so a caller that keeps its results buffer
+  /// across bursts never allocates on the steady path).
+  void process_batch(std::span<const PacketRef> packets, FaceId ingress, SimTime now,
+                     std::span<ProcessResult> results);
+
+  /// Convenience overload allocating the result vector.
+  [[nodiscard]] std::vector<ProcessResult> process_batch(
+      std::span<const PacketRef> packets, FaceId ingress, SimTime now);
 
   [[nodiscard]] RouterEnv& env() noexcept { return env_; }
   [[nodiscard]] const RouterEnv& env() const noexcept { return env_; }
@@ -44,6 +81,9 @@ class Router {
   void set_strategy(DispatchStrategy s) noexcept { strategy_ = s; }
 
  private:
+  /// Dense module table size; OpKey values live well below this.
+  static constexpr std::size_t kModuleTableSize = 64;
+
   struct FnRunState {
     std::uint32_t budget = 0;
     OpScratch scratch;
@@ -53,14 +93,41 @@ class Router {
   bool run_fn(const FnTriple& fn, HeaderView& view, FaceId ingress, SimTime now,
               FnRunState& state, ProcessResult& result);
 
+  /// Execute a match FN through the flow cache (memoized FIB verdict).
+  bool run_match(const FnTriple& fn, OpModule* module, HeaderView& view,
+                 FaceId ingress, SimTime now, FnRunState& state,
+                 ProcessResult& result);
+
+  void dispatch(HeaderView& view, FaceId ingress, SimTime now, ProcessResult& result);
   void dispatch_loop(HeaderView& view, FaceId ingress, SimTime now,
                      ProcessResult& result);
   void dispatch_unrolled(HeaderView& view, FaceId ingress, SimTime now,
                          ProcessResult& result);
+  /// Relaxed-order schedule for the §2.2 parallel bit (any order is legal;
+  /// we run the FN list back to front).
+  void dispatch_relaxed(HeaderView& view, FaceId ingress, SimTime now,
+                        ProcessResult& result);
+
+  /// True when every router-side FN is order-independent and their target
+  /// fields are pairwise disjoint — the safety condition for relaxing
+  /// run_fn order under the parallel bit.
+  [[nodiscard]] static bool relax_eligible(const HeaderView& view) noexcept;
+
+  [[nodiscard]] OpModule* find_module(OpKey key) const noexcept;
+  void refresh_module_table();
 
   RouterEnv env_;
   const OpRegistry* registry_;
   DispatchStrategy strategy_;
+
+  // Dense key->module table rebuilt when the registry epoch moves (the §5
+  // runtime-upgrade path keeps working; steady-state lookups are one load).
+  std::array<OpModule*, kModuleTableSize> module_table_{};
+  std::uint64_t module_epoch_ = ~std::uint64_t{0};
+
+  // Batch scratch, kept across bursts so the steady path never allocates.
+  std::vector<HeaderView> views_;
+  std::vector<std::uint8_t> bound_;
 };
 
 }  // namespace dip::core

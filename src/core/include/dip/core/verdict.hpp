@@ -48,6 +48,16 @@ struct ProcessResult {
     return action == Action::kForward && !egress.empty();
   }
 
+  /// Return the slot to its default state, keeping the egress vector's
+  /// capacity (batch slots are recycled burst over burst).
+  void reset() noexcept {
+    action = Action::kForward;
+    reason = DropReason::kNone;
+    egress.clear();
+    offending_key = {};
+    respond_from_cache = false;
+  }
+
   void drop(DropReason r) noexcept {
     action = Action::kDrop;
     reason = r;

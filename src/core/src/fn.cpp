@@ -8,24 +8,28 @@ namespace {
 // follows the §2.4 rule: FNs that need every on-path AS to participate (the
 // path-authentication chain) trigger an FN-unsupported notification when a
 // node cannot honor them; the rest may simply be ignored.
+// The last column marks order-independent FNs (§2.2 parallel bit): pure
+// functions of their own field and read-mostly tables. Everything that
+// composes through OpScratch (the OPT chain, EPIC), mutates per-flow state
+// (PIT, DPS buckets), or feeds a later FN's verdict stays order-dependent.
 constexpr FnInfo kFnTable[] = {
-    {OpKey::kMatch32, "F_32_match", false, 2},
-    {OpKey::kMatch128, "F_128_match", false, 3},
-    {OpKey::kSource, "F_source", false, 1},
-    {OpKey::kFib, "F_FIB", false, 2},
-    {OpKey::kPit, "F_PIT", false, 2},
-    {OpKey::kParm, "F_parm", true, 2},
-    {OpKey::kMac, "F_MAC", true, 8},
-    {OpKey::kMark, "F_mark", true, 2},
-    {OpKey::kVer, "F_ver", true, 10},
-    {OpKey::kDag, "F_DAG", false, 4},
-    {OpKey::kIntent, "F_intent", false, 2},
-    {OpKey::kPass, "F_pass", false, 6},
-    {OpKey::kTelemetry, "F_int", false, 2},
-    {OpKey::kCc, "F_cc", false, 4},
-    {OpKey::kDps, "F_dps", false, 3},
+    {OpKey::kMatch32, "F_32_match", false, 2, true},
+    {OpKey::kMatch128, "F_128_match", false, 3, true},
+    {OpKey::kSource, "F_source", false, 1, true},
+    {OpKey::kFib, "F_FIB", false, 2, false},
+    {OpKey::kPit, "F_PIT", false, 2, false},
+    {OpKey::kParm, "F_parm", true, 2, false},
+    {OpKey::kMac, "F_MAC", true, 8, false},
+    {OpKey::kMark, "F_mark", true, 2, false},
+    {OpKey::kVer, "F_ver", true, 10, false},
+    {OpKey::kDag, "F_DAG", false, 4, false},
+    {OpKey::kIntent, "F_intent", false, 2, false},
+    {OpKey::kPass, "F_pass", false, 6, false},
+    {OpKey::kTelemetry, "F_int", false, 2, true},
+    {OpKey::kCc, "F_cc", false, 4, false},
+    {OpKey::kDps, "F_dps", false, 3, false},
     // Per-hop verification needs every on-path node, like the OPT chain.
-    {OpKey::kHvf, "F_hvf", true, 6},
+    {OpKey::kHvf, "F_hvf", true, 6, false},
 };
 
 }  // namespace

@@ -1,51 +1,142 @@
 #include "dip/core/router.hpp"
 
+#include <cassert>
+
 namespace dip::core {
 
 ProcessResult Router::process(std::span<std::uint8_t> packet, FaceId ingress,
                               SimTime now) {
-  ++env_.counters.processed;
+  const PacketRef ref(packet);
   ProcessResult result;
+  process_batch({&ref, 1}, ingress, now, {&result, 1});
+  return result;
+}
 
-  auto view = HeaderView::bind(packet);
-  if (!view) {
-    result.drop(DropReason::kMalformed);
-    ++env_.counters.dropped;
-    return result;
-  }
-  if (view->fns().size() > env_.limits.max_fn_per_packet) {
-    result.drop(DropReason::kBudgetExhausted);
-    ++env_.counters.dropped;
-    return result;
-  }
-  if (!view->decrement_hop_limit()) {
-    result.drop(DropReason::kHopLimitExceeded);
-    ++env_.counters.dropped;
-    return result;
-  }
+std::vector<ProcessResult> Router::process_batch(std::span<const PacketRef> packets,
+                                                 FaceId ingress, SimTime now) {
+  std::vector<ProcessResult> results(packets.size());
+  process_batch(packets, ingress, now, results);
+  return results;
+}
 
-  if (strategy_ == DispatchStrategy::kLoop) {
-    dispatch_loop(*view, ingress, now, result);
-  } else {
-    dispatch_unrolled(*view, ingress, now, result);
+void Router::process_batch(std::span<const PacketRef> packets, FaceId ingress,
+                           SimTime now, std::span<ProcessResult> results) {
+  assert(results.size() >= packets.size());
+  ++env_.counters.batches;
+  if (registry_ != nullptr && registry_->epoch() != module_epoch_) {
+    refresh_module_table();
   }
 
-  // No match FN decided an egress: fall back to the wired default port
-  // (the paper's one-hop eval setup), else drop.
-  if (result.action == Action::kForward && result.egress.empty()) {
-    if (env_.default_egress) {
-      result.egress.push_back(*env_.default_egress);
-    } else {
-      result.drop(DropReason::kNoRoute);
+  views_.resize(packets.size());
+  bound_.assign(packets.size(), 0);
+
+  // Phase 1: bind every header and run the structural checks for the whole
+  // burst. Counter deltas are accumulated locally and flushed once.
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    ProcessResult& result = results[i];
+    result.reset();
+
+    auto view = HeaderView::bind(packets[i].bytes);
+    if (!view) {
+      result.drop(DropReason::kMalformed);
+      ++dropped;
+      continue;
+    }
+    if (view->fns().size() > env_.limits.max_fn_per_packet) {
+      result.drop(DropReason::kBudgetExhausted);
+      ++dropped;
+      continue;
+    }
+    if (!view->decrement_hop_limit()) {
+      result.drop(DropReason::kHopLimitExceeded);
+      ++dropped;
+      continue;
+    }
+    views_[i] = *view;
+    bound_[i] = 1;
+  }
+
+  // Phase 2: dispatch FNs packet by packet.
+  std::uint64_t forwarded = 0;
+  std::uint64_t errors = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (!bound_[i]) continue;
+    ProcessResult& result = results[i];
+    dispatch(views_[i], ingress, now, result);
+
+    // No match FN decided an egress: fall back to the wired default port
+    // (the paper's one-hop eval setup), else drop.
+    if (result.action == Action::kForward && result.egress.empty()) {
+      if (env_.default_egress) {
+        result.egress.push_back(*env_.default_egress);
+      } else {
+        result.drop(DropReason::kNoRoute);
+      }
+    }
+
+    switch (result.action) {
+      case Action::kForward: ++forwarded; break;
+      case Action::kDrop: ++dropped; break;
+      case Action::kError: ++errors; break;
     }
   }
 
-  switch (result.action) {
-    case Action::kForward: ++env_.counters.forwarded; break;
-    case Action::kDrop: ++env_.counters.dropped; break;
-    case Action::kError: ++env_.counters.errors; break;
+  env_.counters.processed += packets.size();
+  if (forwarded != 0) env_.counters.forwarded += forwarded;
+  if (dropped != 0) env_.counters.dropped += dropped;
+  if (errors != 0) env_.counters.errors += errors;
+}
+
+void Router::dispatch(HeaderView& view, FaceId ingress, SimTime now,
+                      ProcessResult& result) {
+  if (view.basic().parallel) {
+    // §2.2 modular parallelism: the sender asserts the FNs are independent;
+    // the router verifies (order-independent keys, disjoint fields) before
+    // relaxing the schedule, and falls back to sequential order otherwise.
+    if (relax_eligible(view)) {
+      ++env_.counters.parallel_relaxed;
+      dispatch_relaxed(view, ingress, now, result);
+      return;
+    }
+    ++env_.counters.parallel_fallback;
   }
-  return result;
+  if (strategy_ == DispatchStrategy::kLoop) {
+    dispatch_loop(view, ingress, now, result);
+  } else {
+    dispatch_unrolled(view, ingress, now, result);
+  }
+}
+
+bool Router::relax_eligible(const HeaderView& view) noexcept {
+  const auto fns = view.fns();
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    if (fns[i].host_tagged()) continue;  // skipped by routers in any order
+    const auto info = fn_info(fns[i].key());
+    if (!info || !info->order_independent) return false;
+    const std::uint32_t a_lo = fns[i].field_loc;
+    const std::uint32_t a_hi = a_lo + fns[i].field_len;
+    for (std::size_t j = i + 1; j < fns.size(); ++j) {
+      if (fns[j].host_tagged()) continue;
+      const std::uint32_t b_lo = fns[j].field_loc;
+      const std::uint32_t b_hi = b_lo + fns[j].field_len;
+      if (a_lo < b_hi && b_lo < a_hi) return false;  // overlapping slices
+    }
+  }
+  return true;
+}
+
+OpModule* Router::find_module(OpKey key) const noexcept {
+  const auto idx = static_cast<std::size_t>(key);
+  if (idx < kModuleTableSize) return module_table_[idx];
+  return registry_ != nullptr ? registry_->find(key) : nullptr;
+}
+
+void Router::refresh_module_table() {
+  for (std::size_t k = 0; k < kModuleTableSize; ++k) {
+    module_table_[k] = registry_->find(static_cast<OpKey>(k));
+  }
+  module_epoch_ = registry_->epoch();
 }
 
 bool Router::run_fn(const FnTriple& fn, HeaderView& view, FaceId ingress, SimTime now,
@@ -56,7 +147,7 @@ bool Router::run_fn(const FnTriple& fn, HeaderView& view, FaceId ingress, SimTim
     return true;
   }
 
-  OpModule* module = registry_ ? registry_->find(fn.key()) : nullptr;
+  OpModule* module = find_module(fn.key());
   if (module == nullptr || !env_.supports(fn.key())) {
     // §2.4 heterogeneous configuration: a path-critical FN that this node
     // cannot honor triggers an ICMP-like notification; others are skipped.
@@ -77,6 +168,12 @@ bool Router::run_fn(const FnTriple& fn, HeaderView& view, FaceId ingress, SimTim
   }
   state.budget -= cost;
 
+  const OpKey key = fn.key();
+  if (env_.flow_cache != nullptr &&
+      (key == OpKey::kMatch32 || key == OpKey::kMatch128)) {
+    return run_match(fn, module, view, ingress, now, state, result);
+  }
+
   OpContext ctx;
   ctx.locations = view.locations();
   ctx.field = fn.range();
@@ -89,11 +186,84 @@ bool Router::run_fn(const FnTriple& fn, HeaderView& view, FaceId ingress, SimTim
   ctx.scratch = &state.scratch;
 
   ++env_.counters.fn_executed;
-  ++env_.counters.fn_by_key[static_cast<std::size_t>(fn.key()) %
+  ++env_.counters.fn_by_key[static_cast<std::size_t>(key) %
                             env_.counters.fn_by_key.size()];
   if (const auto st = module->execute(ctx); !st) {
     result.drop(DropReason::kMalformed);
     return false;
+  }
+  return result.action == Action::kForward;
+}
+
+bool Router::run_match(const FnTriple& fn, OpModule* module, HeaderView& view,
+                       FaceId ingress, SimTime now, FnRunState& state,
+                       ProcessResult& result) {
+  const OpKey key = fn.key();
+  const auto key_idx = static_cast<std::size_t>(key) % env_.counters.fn_by_key.size();
+  const bytes::BitRange range = fn.range();
+
+  // The cache key is the sliced match field. Only the canonical byte-aligned
+  // widths are memoized; anything else takes the module path untouched.
+  std::span<const std::uint8_t> slice;
+  std::uint64_t generation = 0;
+  bool cacheable = false;
+  if (range.byte_aligned()) {
+    const std::size_t len_bytes = range.bit_length / 8;
+    const bool width_ok = (key == OpKey::kMatch32 && len_bytes == 4) ||
+                          (key == OpKey::kMatch128 && len_bytes == 16);
+    const fib::Ipv4Lpm* f32 = env_.fib32.get();
+    const fib::Ipv6Lpm* f128 = env_.fib128.get();
+    if (width_ok && (key == OpKey::kMatch32 ? f32 != nullptr : f128 != nullptr)) {
+      slice = view.locations().subspan(range.bit_offset / 8, len_bytes);
+      generation = key == OpKey::kMatch32 ? f32->generation() : f128->generation();
+      cacheable = true;
+    }
+  }
+
+  if (cacheable) {
+    if (const FlowCache::Verdict* v = env_.flow_cache->find(slice, generation)) {
+      // The memoized verdict is exactly what the module would compute under
+      // this FIB generation; counters advance as if it had run.
+      ++env_.counters.flow_cache_hits;
+      ++env_.counters.fn_executed;
+      ++env_.counters.fn_by_key[key_idx];
+      if (v->no_route) {
+        result.drop(DropReason::kNoRoute);
+        return false;
+      }
+      result.egress.assign(1, v->egress);
+      return result.action == Action::kForward;
+    }
+    ++env_.counters.flow_cache_misses;
+  }
+
+  OpContext ctx;
+  ctx.locations = view.locations();
+  ctx.field = range;
+  ctx.fn = fn;
+  ctx.payload = view.payload();
+  ctx.ingress = ingress;
+  ctx.now = now;
+  ctx.env = &env_;
+  ctx.result = &result;
+  ctx.scratch = &state.scratch;
+
+  ++env_.counters.fn_executed;
+  ++env_.counters.fn_by_key[key_idx];
+  const bool egress_was_empty = result.egress.empty();
+  if (const auto st = module->execute(ctx); !st) {
+    result.drop(DropReason::kMalformed);
+    return false;
+  }
+
+  if (cacheable) {
+    if (result.action == Action::kForward && egress_was_empty &&
+        result.egress.size() == 1) {
+      env_.flow_cache->insert(slice, generation, {result.egress[0], false});
+    } else if (result.action == Action::kDrop &&
+               result.reason == DropReason::kNoRoute) {
+      env_.flow_cache->insert(slice, generation, {0, true});
+    }
   }
   return result.action == Action::kForward;
 }
@@ -103,6 +273,19 @@ void Router::dispatch_loop(HeaderView& view, FaceId ingress, SimTime now,
   FnRunState state{env_.limits.per_packet_budget, {}};
   for (const FnTriple& fn : view.fns()) {
     if (!run_fn(fn, view, ingress, now, state, result)) return;
+  }
+}
+
+void Router::dispatch_relaxed(HeaderView& view, FaceId ingress, SimTime now,
+                              ProcessResult& result) {
+  // Relaxed ordering: any schedule is legal for independent FNs. Running
+  // back to front is the cheapest observably different one — it keeps the
+  // relaxation honest (a dependence bug shows up as a verdict difference in
+  // the batch-equivalence property test).
+  FnRunState state{env_.limits.per_packet_budget, {}};
+  const auto fns = view.fns();
+  for (std::size_t i = fns.size(); i-- > 0;) {
+    if (!run_fn(fns[i], view, ingress, now, state, result)) return;
   }
 }
 

@@ -1,0 +1,196 @@
+#include "dip/core/router_pool.hpp"
+
+#include <thread>
+
+namespace dip::core {
+
+namespace {
+
+// FNV-1a 64 over a byte span (matches the spirit of the flow-cache hash; a
+// different function is fine — sharding and caching never compare hashes).
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// The bytes that identify the packet's flow: the first router-side FN's
+// sliced field. Decoded straight off the wire — sharding must not require a
+// full (checksum-validated) bind, and malformed packets just need *some*
+// deterministic shard.
+std::span<const std::uint8_t> flow_bytes(std::span<const std::uint8_t> p) noexcept {
+  if (p.size() < BasicHeader::kWireSize) return p;
+  const std::uint8_t fn_num = p[1];
+  const std::uint16_t param =
+      static_cast<std::uint16_t>((p[3] << 8) | p[4]);
+  const std::size_t loc_len = (param >> 1) & 0x3ff;  // reserved:5|loc_len:10|parallel:1
+  const std::size_t locs_off =
+      BasicHeader::kWireSize + std::size_t{fn_num} * FnTriple::kWireSize;
+  if (p.size() < locs_off + loc_len) return p;
+
+  for (std::size_t i = 0; i < fn_num; ++i) {
+    const std::size_t off = BasicHeader::kWireSize + i * FnTriple::kWireSize;
+    FnTriple fn;
+    fn.field_loc = static_cast<std::uint16_t>((p[off] << 8) | p[off + 1]);
+    fn.field_len = static_cast<std::uint16_t>((p[off + 2] << 8) | p[off + 3]);
+    fn.op = static_cast<std::uint16_t>((p[off + 4] << 8) | p[off + 5]);
+    if (fn.host_tagged()) continue;  // host FNs don't define router flow state
+    const std::size_t byte_lo = fn.field_loc / 8;
+    const std::size_t byte_hi = (std::size_t{fn.field_loc} + fn.field_len + 7) / 8;
+    if (fn.field_len == 0 || byte_hi > loc_len) break;
+    return p.subspan(locs_off + byte_lo, byte_hi - byte_lo);
+  }
+  return p;  // no usable field: hash the whole packet
+}
+
+}  // namespace
+
+RouterPool::RouterPool(const OpRegistry* registry,
+                       const std::function<RouterEnv(std::size_t)>& env_factory,
+                       RouterPoolConfig config, Completion on_complete)
+    : config_(config), on_complete_(std::move(on_complete)) {
+  std::size_t n = config_.workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  if (config_.max_batch == 0) config_.max_batch = 1;
+
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>(config_.ring_capacity);
+    w->index = i;
+    const std::size_t batch =
+        config_.wake_batch != 0 ? config_.wake_batch : config_.max_batch;
+    w->wake_threshold = std::max<std::size_t>(1, std::min(batch, w->ring.capacity()));
+    w->router = std::make_unique<Router>(env_factory(i), registry, config_.strategy);
+    workers_.push_back(std::move(w));
+  }
+  // Start threads only after the vector is fully built.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_main(*worker); });
+  }
+}
+
+RouterPool::~RouterPool() { stop(); }
+
+std::size_t RouterPool::shard_of(std::span<const std::uint8_t> packet,
+                                 std::size_t workers) noexcept {
+  if (workers <= 1) return 0;
+  return static_cast<std::size_t>(fnv1a(flow_bytes(packet)) % workers);
+}
+
+std::size_t RouterPool::submit(std::vector<std::uint8_t> packet, FaceId ingress,
+                               SimTime now) {
+  const std::size_t idx = shard_of(packet, workers_.size());
+  Worker& w = *workers_[idx];
+  Item item{std::move(packet), ingress, now};
+  while (!w.ring.try_push(std::move(item))) {
+    // Ring full: make sure the worker is draining it, then yield.
+    if (w.parked.exchange(false, std::memory_order_seq_cst)) wake(w);
+    std::this_thread::yield();
+  }
+  ++w.submitted;
+  // Dekker handshake with the worker's park sequence (store parked; fence;
+  // check ring): after our release push, a seq_cst fence and a parked read
+  // guarantee we either see parked==true here or the worker sees the item.
+  // The wake_threshold batches wakeups (drain() flushes any sub-threshold
+  // tail), and exchange() claims the wake, so a parked worker costs one
+  // notify per park, not one per submit.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (w.ring.size() >= w.wake_threshold &&
+      w.parked.load(std::memory_order_relaxed) &&
+      w.parked.exchange(false, std::memory_order_seq_cst)) {
+    wake(w);
+  }
+  return idx;
+}
+
+void RouterPool::wake(Worker& w) {
+  // Lock before notifying: serializes with the worker between its ring
+  // re-check and cv.wait, so the notify cannot fall into that window.
+  std::lock_guard<std::mutex> lk(w.m);
+  w.cv.notify_one();
+}
+
+void RouterPool::worker_main(Worker& w) {
+  std::vector<Item> items(config_.max_batch);
+  std::vector<PacketRef> refs(config_.max_batch);
+  std::vector<ProcessResult> results(config_.max_batch);
+
+  for (;;) {
+    const std::size_t n = w.ring.pop_bulk({items.data(), items.size()});
+    if (n == 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      {
+        std::unique_lock<std::mutex> lk(w.m);
+        for (;;) {
+          // Republish on every pass: the producer's exchange() may have
+          // consumed the flag while we were (spuriously) awake.
+          w.parked.store(true, std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          if (!w.ring.empty() || !running_.load(std::memory_order_acquire)) break;
+          w.cv.wait(lk);
+        }
+        w.parked.store(false, std::memory_order_relaxed);
+      }
+      continue;
+    }
+
+    // Process the burst in runs sharing (ingress, now) — process_batch takes
+    // one of each; a steady trace produces full-length runs.
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && items[j].ingress == items[i].ingress &&
+             items[j].now == items[i].now) {
+        ++j;
+      }
+      for (std::size_t k = i; k < j; ++k) refs[k - i] = PacketRef(items[k].packet);
+      w.router->process_batch({refs.data(), j - i}, items[i].ingress, items[i].now,
+                              {results.data(), j - i});
+      if (on_complete_) {
+        for (std::size_t k = i; k < j; ++k) {
+          on_complete_(w.index, items[k], results[k - i]);
+        }
+      }
+      i = j;
+    }
+    w.completed.fetch_add(n, std::memory_order_release);
+  }
+}
+
+void RouterPool::drain() {
+  for (auto& w : workers_) {
+    while (w->completed.load(std::memory_order_acquire) != w->submitted) {
+      // Insurance against any transient park-with-work state.
+      if (!w->ring.empty() && w->parked.exchange(false, std::memory_order_seq_cst)) {
+        wake(*w);
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+void RouterPool::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& w : workers_) wake(*w);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Workers drain their rings before exiting (pop_bulk hits empty before the
+  // !running_ check), so stop() == drain + join for anything submitted
+  // before the stop.
+}
+
+telemetry::CounterSnapshot RouterPool::counters() const {
+  std::vector<const telemetry::RouterCounters*> all;
+  all.reserve(workers_.size());
+  for (const auto& w : workers_) all.push_back(&w->router->env().counters);
+  return telemetry::aggregate(all);
+}
+
+}  // namespace dip::core

@@ -13,8 +13,8 @@ namespace dip::fib {
 
 template <std::size_t W>
 class BinaryTrie final : public LpmTable<W> {
- public:
-  std::optional<NextHop> insert(Prefix<W> prefix, NextHop nh) override {
+ protected:
+  std::optional<NextHop> do_insert(Prefix<W> prefix, NextHop nh) override {
     prefix.normalize();
     Node* node = &root_;
     for (std::size_t i = 0; i < prefix.length; ++i) {
@@ -28,7 +28,7 @@ class BinaryTrie final : public LpmTable<W> {
     return old;
   }
 
-  std::optional<NextHop> remove(Prefix<W> prefix) override {
+  std::optional<NextHop> do_remove(Prefix<W> prefix) override {
     prefix.normalize();
     Node* node = &root_;
     for (std::size_t i = 0; i < prefix.length; ++i) {
@@ -45,6 +45,7 @@ class BinaryTrie final : public LpmTable<W> {
     return old;
   }
 
+ public:
   [[nodiscard]] std::optional<NextHop> lookup(const Address<W>& addr) const override {
     std::optional<NextHop> best = root_.next_hop;
     const Node* node = &root_;

@@ -26,10 +26,12 @@ class Dir24 final : public LpmTable<32> {
 
   Dir24();
 
-  std::optional<NextHop> insert(Prefix<32> prefix, NextHop nh) override;
-  std::optional<NextHop> remove(Prefix<32> prefix) override;
   [[nodiscard]] std::optional<NextHop> lookup(const Ipv4Addr& addr) const override;
   [[nodiscard]] std::size_t size() const override { return size_; }
+
+ protected:
+  std::optional<NextHop> do_insert(Prefix<32> prefix, NextHop nh) override;
+  std::optional<NextHop> do_remove(Prefix<32> prefix) override;
 
  private:
   // Entry encoding: bit 31 set -> extension table index in low 24 bits;

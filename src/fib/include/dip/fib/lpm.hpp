@@ -3,8 +3,16 @@
 // F_32_match, F_128_match and F_FIB all reduce to LPM over some key space;
 // the engines behind this interface are the subject of ablation A3
 // (bench_fib): binary trie vs Patricia trie vs DIR-24-8.
+//
+// The base class tracks a route-table *generation*: every mutation bumps it,
+// and the router's flow cache stamps each memoized verdict with the
+// generation it was computed under. A cached verdict whose stamp no longer
+// matches is dead — route changes invalidate the cache without any flush.
+// Engines implement do_insert/do_remove; the non-virtual insert/remove
+// wrappers own the bump so no engine can forget it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -19,16 +27,35 @@ class LpmTable {
   virtual ~LpmTable() = default;
 
   /// Insert or replace a route. Returns the previous next hop if replaced.
-  virtual std::optional<NextHop> insert(Prefix<W> prefix, NextHop nh) = 0;
+  std::optional<NextHop> insert(Prefix<W> prefix, NextHop nh) {
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    return do_insert(prefix, nh);
+  }
 
   /// Remove a route. Returns the removed next hop if present.
-  virtual std::optional<NextHop> remove(Prefix<W> prefix) = 0;
+  std::optional<NextHop> remove(Prefix<W> prefix) {
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    return do_remove(prefix);
+  }
 
   /// Longest-prefix match.
   [[nodiscard]] virtual std::optional<NextHop> lookup(const Address<W>& addr) const = 0;
 
   /// Number of routes installed.
   [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Mutation epoch; bumped by every insert/remove (relaxed — readers that
+  /// share the table must only mutate it while the data path is quiesced).
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  virtual std::optional<NextHop> do_insert(Prefix<W> prefix, NextHop nh) = 0;
+  virtual std::optional<NextHop> do_remove(Prefix<W> prefix) = 0;
+
+ private:
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 enum class LpmEngine : std::uint8_t {

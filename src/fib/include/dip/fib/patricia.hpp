@@ -15,8 +15,8 @@ namespace dip::fib {
 
 template <std::size_t W>
 class PatriciaTrie final : public LpmTable<W> {
- public:
-  std::optional<NextHop> insert(Prefix<W> prefix, NextHop nh) override {
+ protected:
+  std::optional<NextHop> do_insert(Prefix<W> prefix, NextHop nh) override {
     prefix.normalize();
     Node* node = &root_;
     while (true) {
@@ -71,7 +71,7 @@ class PatriciaTrie final : public LpmTable<W> {
     }
   }
 
-  std::optional<NextHop> remove(Prefix<W> prefix) override {
+  std::optional<NextHop> do_remove(Prefix<W> prefix) override {
     prefix.normalize();
     Node* parent = nullptr;
     Node* node = &root_;
@@ -95,6 +95,7 @@ class PatriciaTrie final : public LpmTable<W> {
     return old;
   }
 
+ public:
   [[nodiscard]] std::optional<NextHop> lookup(const Address<W>& addr) const override {
     std::optional<NextHop> best = root_.next_hop;
     const Node* node = &root_;

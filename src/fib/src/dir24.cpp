@@ -8,7 +8,7 @@ constexpr std::uint32_t kBaseEntries = 1u << 24;
 
 Dir24::Dir24() : base_(kBaseEntries, kEmpty) {}
 
-std::optional<NextHop> Dir24::insert(Prefix<32> prefix, NextHop nh) {
+std::optional<NextHop> Dir24::do_insert(Prefix<32> prefix, NextHop nh) {
   if (nh > kMaxNextHop) return std::nullopt;
   prefix.normalize();
 
@@ -47,7 +47,7 @@ std::optional<NextHop> Dir24::insert(Prefix<32> prefix, NextHop nh) {
   return old_packed ? std::optional<NextHop>(unpack_nh(*old_packed)) : std::nullopt;
 }
 
-std::optional<NextHop> Dir24::remove(Prefix<32> prefix) {
+std::optional<NextHop> Dir24::do_remove(Prefix<32> prefix) {
   prefix.normalize();
   const std::optional<NextHop> old_packed = shadow_.remove(prefix);
   if (!old_packed) return std::nullopt;

@@ -24,6 +24,11 @@ class DipRouterNode final : public Node {
 
   void on_packet(FaceId face, PacketBytes packet, SimTime now) override;
 
+  /// Burst ingress: process every packet through Router::process_batch and
+  /// then apply the verdicts. Equivalent to on_packet per element, but runs
+  /// the two-phase batch fast path.
+  void on_burst(FaceId face, std::vector<PacketBytes> packets, SimTime now);
+
   [[nodiscard]] core::Router& router() noexcept { return router_; }
   [[nodiscard]] core::RouterEnv& env() noexcept { return router_.env(); }
 
@@ -33,12 +38,18 @@ class DipRouterNode final : public Node {
   }
 
  private:
+  /// Apply one verdict: forward/replicate, count a drop, or emit the error
+  /// notification. Shared by the single-packet and burst paths.
+  void apply_verdict(FaceId face, PacketBytes& packet, const core::ProcessResult& result);
   void emit_error(const PacketBytes& original, core::OpKey offending, FaceId ingress);
   void respond_from_cache(const PacketBytes& interest, FaceId ingress);
 
   std::shared_ptr<const core::OpRegistry> registry_;
   core::Router router_;
   std::array<std::uint64_t, 16> drop_counts_{};
+  // Burst scratch reused across on_burst calls.
+  std::vector<core::PacketRef> burst_refs_;
+  std::vector<core::ProcessResult> burst_results_;
 };
 
 /// A host endpoint: delivers received packets to a callback and can send.

@@ -31,7 +31,20 @@ std::shared_ptr<core::OpRegistry> make_default_registry() {
 
 void DipRouterNode::on_packet(FaceId face, PacketBytes packet, SimTime now) {
   const core::ProcessResult result = router_.process(packet, face, now);
+  apply_verdict(face, packet, result);
+}
 
+void DipRouterNode::on_burst(FaceId face, std::vector<PacketBytes> packets, SimTime now) {
+  burst_refs_.assign(packets.begin(), packets.end());
+  burst_results_.resize(packets.size());
+  router_.process_batch(burst_refs_, face, now, burst_results_);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    apply_verdict(face, packets[i], burst_results_[i]);
+  }
+}
+
+void DipRouterNode::apply_verdict(FaceId face, PacketBytes& packet,
+                                  const core::ProcessResult& result) {
   switch (result.action) {
     case core::Action::kForward: {
       if (result.respond_from_cache) {

@@ -96,6 +96,9 @@ core::RouterEnv make_basic_env(std::uint32_t node_id) {
   env.fib32 = fib::make_lpm<32>(fib::LpmEngine::kPatricia);
   env.fib128 = fib::make_lpm<128>(fib::LpmEngine::kPatricia);
   env.xid_table = std::make_unique<fib::XidTable>();
+  // Match verdicts are memoized per router; generation stamps keep cached
+  // entries coherent with FIB updates, so this is on by default.
+  env.flow_cache = std::make_unique<core::FlowCache>();
   // Per-node secret: deterministic but distinct per node.
   env.node_secret = crypto::Xoshiro256(0x5eC0DE + node_id).block();
   return env;

@@ -1,0 +1,511 @@
+// Fast-path pipeline tests: SpscRing, FlowCache, process_batch vs process
+// equivalence (property-style), parallel-bit relaxation, and RouterPool
+// sharding. The equivalence suite is the safety net for every fast-path
+// shortcut: cache on vs off and any burst grouping must be observationally
+// identical to the seed single-packet path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "dip/core/builder.hpp"
+#include "dip/core/flow_cache.hpp"
+#include "dip/core/ip.hpp"
+#include "dip/core/ring.hpp"
+#include "dip/core/router.hpp"
+#include "dip/core/router_pool.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/netsim/dip_node.hpp"
+#include "dip/netsim/topology.hpp"
+#include "dip/telemetry/counters.hpp"
+
+namespace dip::core {
+namespace {
+
+std::shared_ptr<OpRegistry> registry() {
+  static std::shared_ptr<OpRegistry> r = netsim::make_default_registry();
+  return r;
+}
+
+RouterEnv routed_env(bool with_cache = true) {
+  RouterEnv env = netsim::make_basic_env(1);
+  if (!with_cache) env.flow_cache.reset();
+  env.fib32->insert({fib::ipv4_from_u32(0x0A000000), 8}, 7);
+  env.fib32->insert({fib::ipv4_from_u32(0x0A010000), 16}, 2);
+  env.fib128->insert({fib::parse_ipv6("2001:db8::").value(), 32}, 9);
+  return env;
+}
+
+std::vector<std::uint8_t> dip32_packet(std::uint32_t dst, std::uint8_t hops = 64,
+                                       bool parallel = false) {
+  auto h = make_dip32_header(fib::ipv4_from_u32(dst), fib::ipv4_from_u32(0xC0A80001),
+                             NextHeader::kNone, hops);
+  h->basic.parallel = parallel;
+  return h->serialize();
+}
+
+std::vector<std::uint8_t> dip128_packet(const char* dst) {
+  const auto h = make_dip128_header(fib::parse_ipv6(dst).value(),
+                                    fib::parse_ipv6("2001:db8::1").value());
+  return h->serialize();
+}
+
+// ---------------------------------------------------------------- SpscRing
+
+TEST(SpscRing, FifoOrderAcrossWrap) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  int out = 0;
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(ring.try_push(round * 2));
+    ASSERT_TRUE(ring.try_push(round * 2 + 1));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round * 2);
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round * 2 + 1);
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.try_push(1));
+  ASSERT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(3));  // slot freed
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(SpscRing, PopBulkDrainsUpToRequest) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  std::vector<int> out(4);
+  EXPECT_EQ(ring.pop_bulk(out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ring.pop_bulk(out), 2u);
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 5);
+  EXPECT_EQ(ring.pop_bulk(out), 0u);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+}
+
+// --------------------------------------------------------------- FlowCache
+
+TEST(FlowCache, FindsInsertedVerdictUnderSameGeneration) {
+  FlowCache cache(64);
+  const std::array<std::uint8_t, 4> key{10, 0, 0, 1};
+  EXPECT_EQ(cache.find(key, 1), nullptr);
+  cache.insert(key, 1, {42, false});
+  const auto* v = cache.find(key, 1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->egress, 42u);
+  EXPECT_FALSE(v->no_route);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(FlowCache, StaleGenerationIsAMissAndErases) {
+  FlowCache cache(64);
+  const std::array<std::uint8_t, 4> key{10, 0, 0, 1};
+  cache.insert(key, 1, {42, false});
+  EXPECT_EQ(cache.find(key, 2), nullptr);  // FIB changed: stale
+  EXPECT_EQ(cache.entries(), 0u);          // erased on probe
+  cache.insert(key, 2, {43, false});
+  ASSERT_NE(cache.find(key, 2), nullptr);
+  EXPECT_EQ(cache.find(key, 2)->egress, 43u);
+}
+
+TEST(FlowCache, CachesNegativeVerdicts) {
+  FlowCache cache(64);
+  const std::array<std::uint8_t, 4> key{11, 0, 0, 1};
+  cache.insert(key, 1, {0, true});
+  const auto* v = cache.find(key, 1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->no_route);
+}
+
+TEST(FlowCache, DifferentWidthKeysNeverAlias) {
+  FlowCache cache(64);
+  std::array<std::uint8_t, 16> wide{};
+  wide[0] = 10;
+  wide[3] = 1;  // first 4 bytes == the narrow key
+  const std::array<std::uint8_t, 4> narrow{10, 0, 0, 1};
+  cache.insert(narrow, 1, {4, false});
+  cache.insert(wide, 1, {16, false});
+  ASSERT_NE(cache.find(narrow, 1), nullptr);
+  ASSERT_NE(cache.find(wide, 1), nullptr);
+  EXPECT_EQ(cache.find(narrow, 1)->egress, 4u);
+  EXPECT_EQ(cache.find(wide, 1)->egress, 16u);
+}
+
+TEST(FlowCache, SurvivesOverfillByEvicting) {
+  FlowCache cache(16);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const std::array<std::uint8_t, 4> key{
+        static_cast<std::uint8_t>(i >> 24), static_cast<std::uint8_t>(i >> 16),
+        static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i)};
+    cache.insert(key, 1, {i, false});
+    const auto* v = cache.find(key, 1);  // just-inserted key is always findable
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->egress, i);
+  }
+  EXPECT_LE(cache.entries(), cache.capacity());
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+// ------------------------------------------------- Router + flow cache
+
+TEST(RouterFlowCache, SecondPacketOfAFlowHitsTheCache) {
+  Router router(routed_env(), registry().get());
+  auto p1 = dip32_packet(0x0A000001);
+  auto p2 = dip32_packet(0x0A000001);
+  EXPECT_EQ(router.process(p1, 0, 0).egress, std::vector<FaceId>{7});
+  EXPECT_EQ(router.process(p2, 0, 1).egress, std::vector<FaceId>{7});
+  EXPECT_EQ(router.env().counters.flow_cache_misses, 1u);
+  EXPECT_EQ(router.env().counters.flow_cache_hits, 1u);
+  // Counter semantics: a hit still counts as an executed match FN.
+  EXPECT_EQ(router.env().executions_of(OpKey::kMatch32), 2u);
+}
+
+TEST(RouterFlowCache, RouteChangeInvalidatesWithoutFlush) {
+  Router router(routed_env(), registry().get());
+  auto p1 = dip32_packet(0x0A020203);
+  EXPECT_EQ(router.process(p1, 0, 0).egress, std::vector<FaceId>{7});  // via 10/8
+
+  // A more specific route appears; the memoized 10/8 verdict must die.
+  router.env().fib32->insert({fib::ipv4_from_u32(0x0A020200), 24}, 11);
+  auto p2 = dip32_packet(0x0A020203);
+  EXPECT_EQ(router.process(p2, 0, 1).egress, std::vector<FaceId>{11});
+
+  // And the refreshed verdict is served from cache afterwards.
+  auto p3 = dip32_packet(0x0A020203);
+  EXPECT_EQ(router.process(p3, 0, 2).egress, std::vector<FaceId>{11});
+  EXPECT_EQ(router.env().counters.flow_cache_hits, 1u);
+  EXPECT_EQ(router.env().counters.flow_cache_misses, 2u);
+}
+
+TEST(RouterFlowCache, NegativeVerdictInvalidatedByNewRoute) {
+  Router router(routed_env(), registry().get());
+  auto p1 = dip32_packet(0x0B000001);  // outside every prefix
+  auto p2 = dip32_packet(0x0B000001);
+  EXPECT_EQ(router.process(p1, 0, 0).reason, DropReason::kNoRoute);
+  EXPECT_EQ(router.process(p2, 0, 1).reason, DropReason::kNoRoute);
+  EXPECT_EQ(router.env().counters.flow_cache_hits, 1u);  // negative hit
+
+  router.env().fib32->insert({fib::ipv4_from_u32(0x0B000000), 8}, 5);
+  auto p3 = dip32_packet(0x0B000001);
+  EXPECT_EQ(router.process(p3, 0, 2).egress, std::vector<FaceId>{5});
+}
+
+TEST(RouterFlowCache, CachesMatch128Flows) {
+  Router router(routed_env(), registry().get());
+  auto p1 = dip128_packet("2001:db8::42");
+  auto p2 = dip128_packet("2001:db8::42");
+  EXPECT_EQ(router.process(p1, 0, 0).egress, std::vector<FaceId>{9});
+  EXPECT_EQ(router.process(p2, 0, 1).egress, std::vector<FaceId>{9});
+  EXPECT_EQ(router.env().counters.flow_cache_hits, 1u);
+}
+
+// ------------------------------------------------- parallel-bit relaxation
+
+TEST(ParallelBit, IndependentFnsRunRelaxed) {
+  Router router(routed_env(), registry().get());
+  auto packet = dip32_packet(0x0A000001, 64, /*parallel=*/true);
+  const auto result = router.process(packet, 0, 0);
+  EXPECT_EQ(result.action, Action::kForward);
+  EXPECT_EQ(result.egress, std::vector<FaceId>{7});
+  EXPECT_EQ(router.env().counters.parallel_relaxed, 1u);
+  EXPECT_EQ(router.env().counters.parallel_fallback, 0u);
+}
+
+TEST(ParallelBit, OrderDependentFnFallsBackToSequential) {
+  Router router(routed_env(), registry().get());
+  // F_FIB mutates the PIT — not order-independent, so the parallel bit must
+  // be ignored (counted as a fallback).
+  auto h = ndn::make_interest_header32(0x0A000001);
+  ASSERT_TRUE(h.has_value());
+  h->basic.parallel = true;
+  auto packet = h->serialize();
+  (void)router.process(packet, 3, 0);
+  EXPECT_EQ(router.env().counters.parallel_relaxed, 0u);
+  EXPECT_EQ(router.env().counters.parallel_fallback, 1u);
+}
+
+TEST(ParallelBit, OverlappingFieldsFallBackToSequential) {
+  Router router(routed_env(), registry().get());
+  // Two order-independent FNs sliced over overlapping bits: ineligible.
+  const std::array<std::uint8_t, 4> dst{10, 0, 0, 1};
+  HeaderBuilder b;
+  const std::uint16_t loc = b.add_location(dst);
+  b.add_fn(FnTriple::router(loc, 32, OpKey::kMatch32));
+  b.add_fn(FnTriple::router(loc, 16, OpKey::kTelemetry));  // overlaps the dst
+  b.parallel(true);
+  auto h = b.build();
+  ASSERT_TRUE(h.has_value());
+  auto packet = h->serialize();
+  (void)router.process(packet, 0, 0);
+  EXPECT_EQ(router.env().counters.parallel_relaxed, 0u);
+  EXPECT_EQ(router.env().counters.parallel_fallback, 1u);
+}
+
+// ------------------------------------------------------- batch equivalence
+
+// Random packet soup: valid DIP-32/DIP-128/NDN flows plus every structural
+// failure mode the single-packet path handles.
+class PacketSoup {
+ public:
+  explicit PacketSoup(std::uint64_t seed) : rng_(seed) {}
+
+  std::vector<std::uint8_t> next() {
+    switch (rng_() % 10) {
+      case 0:
+      case 1:
+      case 2: {  // routable / unroutable DIP-32 flows (small flow universe)
+        const std::uint32_t dst = 0x0A000000 + rng_() % 64 + ((rng_() % 2) << 24);
+        return dip32_packet(dst);
+      }
+      case 3:
+        return dip128_packet(rng_() % 2 ? "2001:db8::7" : "2002::7");
+      case 4: {  // NDN interest; remember the name for a later data packet
+        const auto code = static_cast<std::uint32_t>(0x0A000000 + rng_() % 16);
+        names_.push_back(code);
+        return ndn::make_interest_header32(code)->serialize();
+      }
+      case 5: {  // NDN data for a pending (or random) name
+        const std::uint32_t code = names_.empty()
+                                       ? 0x0A000001
+                                       : names_[rng_() % names_.size()];
+        return ndn::make_data_header32(code)->serialize();
+      }
+      case 6: {  // truncated
+        auto p = dip32_packet(0x0A000001);
+        p.resize(rng_() % p.size());
+        return p;
+      }
+      case 7: {  // corrupted checksum byte
+        auto p = dip32_packet(0x0A000002);
+        p[5] ^= 0x5A;
+        return p;
+      }
+      case 8:  // expiring hop limit
+        return dip32_packet(0x0A000003, 1);
+      default: {  // parallel-bit or unsupported-FN packet
+        if (rng_() % 2) return dip32_packet(0x0A000004, 64, /*parallel=*/true);
+        HeaderBuilder b;
+        const std::array<std::uint8_t, 16> tag{};
+        b.add_router_fn(OpKey::kMac, tag);  // kMac is disabled in the envs
+        return b.build()->serialize();
+      }
+    }
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::vector<std::uint32_t> names_;
+};
+
+void expect_same_result(const ProcessResult& a, const ProcessResult& b,
+                        std::size_t packet_idx) {
+  EXPECT_EQ(a.action, b.action) << "packet " << packet_idx;
+  EXPECT_EQ(a.reason, b.reason) << "packet " << packet_idx;
+  EXPECT_EQ(a.egress, b.egress) << "packet " << packet_idx;
+  EXPECT_EQ(a.offending_key, b.offending_key) << "packet " << packet_idx;
+  EXPECT_EQ(a.respond_from_cache, b.respond_from_cache) << "packet " << packet_idx;
+}
+
+// The tentpole property: for any burst grouping, process_batch with the flow
+// cache on is observationally identical (verdicts AND packet bytes) to the
+// seed per-packet path with the cache off.
+TEST(BatchEquivalence, RandomSoupMatchesSequentialPath) {
+  RouterEnv env_batch = routed_env(/*with_cache=*/true);
+  RouterEnv env_seq = routed_env(/*with_cache=*/false);
+  env_batch.disabled_keys.insert(OpKey::kMac);
+  env_seq.disabled_keys.insert(OpKey::kMac);
+  Router batch_router(std::move(env_batch), registry().get());
+  Router seq_router(std::move(env_seq), registry().get());
+
+  std::mt19937_64 rng(0xD1Bu);
+  PacketSoup soup(0xD1Bu);
+
+  SimTime now = 0;
+  std::size_t packet_idx = 0;
+  for (int burst = 0; burst < 200; ++burst, ++now) {
+    const std::size_t n = 1 + rng() % 48;
+    const FaceId ingress = static_cast<FaceId>(rng() % 4);
+
+    std::vector<std::vector<std::uint8_t>> a(n);  // batch copies
+    std::vector<std::vector<std::uint8_t>> b(n);  // sequential copies
+    std::vector<PacketRef> refs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = soup.next();
+      b[i] = a[i];
+      refs[i] = PacketRef(a[i]);
+    }
+
+    std::vector<ProcessResult> batch_results(n);
+    batch_router.process_batch(refs, ingress, now, batch_results);
+
+    for (std::size_t i = 0; i < n; ++i, ++packet_idx) {
+      const ProcessResult seq_result = seq_router.process(b[i], ingress, now);
+      expect_same_result(batch_results[i], seq_result, packet_idx);
+      EXPECT_EQ(a[i], b[i]) << "packet bytes diverged at " << packet_idx;
+    }
+  }
+
+  // The property only means something if the cache actually engaged.
+  EXPECT_GT(batch_router.env().counters.flow_cache_hits, 0u);
+  EXPECT_EQ(seq_router.env().counters.flow_cache_hits, 0u);
+  // Both engines saw identical traffic.
+  EXPECT_EQ(batch_router.env().counters.processed,
+            seq_router.env().counters.processed);
+  EXPECT_EQ(batch_router.env().counters.forwarded,
+            seq_router.env().counters.forwarded);
+  EXPECT_EQ(batch_router.env().counters.dropped, seq_router.env().counters.dropped);
+  EXPECT_EQ(batch_router.env().counters.errors, seq_router.env().counters.errors);
+}
+
+TEST(BatchEquivalence, ResultSlotsAreFullyReset) {
+  Router router(routed_env(), registry().get());
+  std::vector<ProcessResult> results(1);
+  results[0].fail_unsupported(OpKey::kMac);  // stale junk in the slot
+  results[0].egress = {99, 98};
+
+  auto packet = dip32_packet(0x0A000001);
+  const PacketRef ref(packet);
+  router.process_batch({&ref, 1}, 0, 0, results);
+  EXPECT_EQ(results[0].action, Action::kForward);
+  EXPECT_EQ(results[0].reason, DropReason::kNone);
+  EXPECT_EQ(results[0].egress, std::vector<FaceId>{7});
+  EXPECT_FALSE(results[0].respond_from_cache);
+}
+
+// ---------------------------------------------------------------- RouterPool
+
+TEST(RouterPool, ShardingIsDeterministicAndFlowAffine) {
+  auto p1 = dip32_packet(0x0A000001);
+  auto p2 = dip32_packet(0x0A000001, 17);  // same flow, different hop limit
+  auto p3 = dip32_packet(0x0A010101);
+  EXPECT_EQ(RouterPool::shard_of(p1, 4), RouterPool::shard_of(p1, 4));
+  // Flow identity is the sliced dst field: hop limit must not affect it.
+  EXPECT_EQ(RouterPool::shard_of(p1, 4), RouterPool::shard_of(p2, 4));
+  EXPECT_LT(RouterPool::shard_of(p3, 4), 4u);
+  EXPECT_EQ(RouterPool::shard_of(p1, 1), 0u);
+
+  // NDN flow affinity: interest and data for one name shard identically.
+  const auto interest = ndn::make_interest_header32(0x0A000042)->serialize();
+  const auto data = ndn::make_data_header32(0x0A000042)->serialize();
+  EXPECT_EQ(RouterPool::shard_of(interest, 4), RouterPool::shard_of(data, 4));
+}
+
+TEST(RouterPool, ProcessesEverythingAcrossWorkersWithSharedFib) {
+  RouterEnv base = routed_env();
+  const auto fib32 = base.fib32;  // one route table shared by all workers
+
+  RouterPoolConfig config;
+  config.workers = 4;
+  config.max_batch = 32;
+
+  std::mutex mu;
+  std::map<std::uint32_t, std::set<std::size_t>> dst_workers;
+  std::uint64_t forwarded = 0;
+
+  RouterPool pool(
+      registry().get(),
+      [&](std::size_t i) {
+        RouterEnv env = netsim::make_basic_env(100 + static_cast<std::uint32_t>(i));
+        env.fib32 = fib32;
+        return env;
+      },
+      config,
+      [&](std::size_t worker, RouterPool::Item& item, ProcessResult& result) {
+        // dst = first 4 bytes of the locations block (6 B basic + 2 FNs).
+        const std::size_t locs = 6 + 2 * 6;
+        std::uint32_t dst = 0;
+        for (int b = 0; b < 4; ++b) dst = dst << 8 | item.packet[locs + b];
+        std::lock_guard<std::mutex> lk(mu);
+        dst_workers[dst].insert(worker);
+        if (result.action == Action::kForward) ++forwarded;
+      });
+
+  constexpr std::size_t kPackets = 2000;
+  std::mt19937_64 rng(7);
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const std::uint32_t dst = 0x0A000000 + static_cast<std::uint32_t>(rng() % 64);
+    pool.submit(dip32_packet(dst), 0, static_cast<SimTime>(i));
+  }
+  pool.drain();
+
+  const auto totals = pool.counters();
+  EXPECT_EQ(totals.processed, kPackets);
+  EXPECT_EQ(totals.forwarded, kPackets);  // every dst is inside 10/8
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(forwarded, kPackets);
+    std::set<std::size_t> used;
+    for (const auto& [dst, workers] : dst_workers) {
+      EXPECT_EQ(workers.size(), 1u) << "flow " << dst << " migrated workers";
+      used.insert(*workers.begin());
+    }
+    EXPECT_GT(used.size(), 1u);  // 64 flows actually spread across workers
+  }
+  // With 64 flows and 2000 packets the per-worker caches must be hot.
+  EXPECT_GT(totals.flow_cache_hits, kPackets / 2);
+  pool.stop();
+}
+
+TEST(RouterPool, DrainIsReusableAndStopIsIdempotent) {
+  RouterPoolConfig config;
+  config.workers = 2;
+  RouterPool pool(
+      registry().get(),
+      [](std::size_t i) {
+        RouterEnv env = netsim::make_basic_env(200 + static_cast<std::uint32_t>(i));
+        env.fib32->insert({fib::ipv4_from_u32(0x0A000000), 8}, 7);
+        return env;
+      },
+      config);
+
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      pool.submit(dip32_packet(0x0A000000 + i), 0, round);
+    }
+    pool.drain();
+    EXPECT_EQ(pool.counters().processed, 100u * (round + 1));
+  }
+  pool.stop();
+  pool.stop();  // idempotent
+  EXPECT_EQ(pool.counters().processed, 300u);
+}
+
+// ------------------------------------------------------------- aggregation
+
+TEST(TelemetryCounters, AggregateSumsAcrossWorkers) {
+  telemetry::RouterCounters a;
+  telemetry::RouterCounters b;
+  a.processed += 10;
+  a.flow_cache_hits += 3;
+  a.fn_by_key[1] += 2;
+  b.processed += 5;
+  b.flow_cache_hits += 1;
+  b.fn_by_key[1] += 4;
+
+  const telemetry::RouterCounters* all[] = {&a, &b};
+  const telemetry::CounterSnapshot sum = telemetry::aggregate(all);
+  EXPECT_EQ(sum.processed, 15u);
+  EXPECT_EQ(sum.flow_cache_hits, 4u);
+  EXPECT_EQ(sum.fn_by_key[1], 6u);
+  EXPECT_DOUBLE_EQ(sum.flow_cache_hit_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace dip::core
