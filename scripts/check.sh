@@ -4,6 +4,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== docs link check =="
+# Markdown link targets (relative ones must exist) and backtick-quoted
+# repo paths with an extension (e.g. `tests/stats_test.cpp`) in the
+# operator docs must resolve — stale references rot fastest.
+fail=0
+for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
+  dir=$(dirname "$doc")
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    target="${target%%#*}"
+    if [ ! -e "$dir/$target" ]; then
+      echo "  BROKEN $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+  while IFS= read -r target; do
+    if [ ! -e "$target" ]; then
+      echo "  BROKEN $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '`(src|tests|bench|examples|docs|scripts)/[A-Za-z0-9_./-]*\.[A-Za-z0-9_]+`' "$doc" | tr -d '`')
+done
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "  all links resolve"
+
 echo "== release build =="
 cmake -B build -G Ninja >/dev/null
 cmake --build build
@@ -13,12 +43,14 @@ ctest --test-dir build --output-on-failure
 
 echo "== benches (smoke: min_time lowered) =="
 for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMake metadata
   "$b" --benchmark_min_time=0.01 >/dev/null
   echo "  $(basename "$b") ok"
 done
 
 echo "== examples =="
 for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue  # skip CMake metadata
   "$e" >/dev/null
   echo "  $(basename "$e") ok"
 done
@@ -35,9 +67,9 @@ ctest --test-dir build-san --output-on-failure
 echo "== TSan build (RouterPool / SpscRing concurrency) =="
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
   >/dev/null
-cmake --build build-tsan --target pipeline_test
+cmake --build build-tsan --target pipeline_test stats_test
 
-echo "== pipeline tests under TSan =="
-ctest --test-dir build-tsan -R pipeline_test --output-on-failure
+echo "== pipeline + stats tests under TSan =="
+ctest --test-dir build-tsan -R "pipeline_test|stats_test" --output-on-failure
 
 echo "ALL CHECKS PASSED"

@@ -27,6 +27,7 @@
 #include "dip/core/flow_cache.hpp"
 #include "dip/core/fn.hpp"
 #include "dip/telemetry/counters.hpp"
+#include "dip/telemetry/stats.hpp"
 
 namespace dip::core {
 
@@ -79,6 +80,13 @@ struct RouterEnv {
   /// routers can expose them to a telemetry thread without data races.
   using Counters = telemetry::RouterCounters;
   Counters counters;
+
+  /// Router-internal stats (latency histograms + trace ring); nullptr (the
+  /// default) disables them — the hot path then pays one pointer test per
+  /// burst and per FN, no clock reads, no allocation. Install with
+  /// telemetry::make_router_stats(); a control thread may read the live
+  /// block (see telemetry/stats.hpp for the ownership contract).
+  std::unique_ptr<telemetry::RouterStats> stats;
 
   [[nodiscard]] std::uint64_t executions_of(OpKey key) const {
     return counters.fn_by_key[static_cast<std::size_t>(key) %

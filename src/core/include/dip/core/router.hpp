@@ -22,6 +22,12 @@
 // and the match FNs consult the RouterEnv flow cache before walking the
 // FIB (see flow_cache.hpp).
 //
+// Observability: when RouterEnv::stats is installed, process_batch records
+// bind/validate/dispatch phase latencies (sampled per burst), per-OpKey
+// module latencies, and trace-ring records for sampled packets (see
+// telemetry/stats.hpp and docs/OBSERVABILITY.md). With stats disabled the
+// path stays clock-free.
+//
 // A Router is single-threaded by design; RouterPool shards packets across
 // N routers for multi-core operation.
 #pragma once
@@ -98,6 +104,10 @@ class Router {
                  FaceId ingress, SimTime now, FnRunState& state,
                  ProcessResult& result);
 
+  /// Push one sampled packet's execution record into the stats trace ring.
+  void record_trace(const HeaderView& view, FaceId ingress, SimTime now,
+                    std::uint64_t t_start, const ProcessResult& result);
+
   void dispatch(HeaderView& view, FaceId ingress, SimTime now, ProcessResult& result);
   void dispatch_loop(HeaderView& view, FaceId ingress, SimTime now,
                      ProcessResult& result);
@@ -128,6 +138,10 @@ class Router {
   // Batch scratch, kept across bursts so the steady path never allocates.
   std::vector<HeaderView> views_;
   std::vector<std::uint8_t> bound_;
+  // True while dispatching a packet the stats sampler picked: run_fn then
+  // times module execution into env_.stats->fn_ns. Always false when stats
+  // are disabled, so the per-FN cost is a single predictable branch.
+  bool sample_this_packet_ = false;
 };
 
 }  // namespace dip::core

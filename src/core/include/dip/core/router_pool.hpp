@@ -28,6 +28,7 @@
 #include "dip/core/ring.hpp"
 #include "dip/core/router.hpp"
 #include "dip/telemetry/counters.hpp"
+#include "dip/telemetry/exposition.hpp"
 
 namespace dip::core {
 
@@ -90,6 +91,23 @@ class RouterPool {
 
   /// Aggregated snapshot of every worker's counters (safe while running).
   [[nodiscard]] telemetry::CounterSnapshot counters() const;
+
+  /// A (possibly stale) occupancy estimate of one worker's ingress ring.
+  [[nodiscard]] std::size_t queue_depth(std::size_t worker) const noexcept {
+    return workers_[worker]->ring.size();
+  }
+
+  /// Render the pool's stats page: fleet counters, merged latency
+  /// histograms (workers with RouterEnv::stats installed), then per-worker
+  /// counter series (`worker` label) and queue depths. Safe while running;
+  /// series catalogue in docs/OBSERVABILITY.md.
+  void write_stats(telemetry::StatsWriter& w) const;
+
+  /// write_stats as a StatsRegistry section named "router_pool".
+  void register_stats(telemetry::StatsRegistry& registry) const;
+
+  /// One-call text exposition of write_stats().
+  [[nodiscard]] std::string dump_stats() const;
 
  private:
   struct Worker {

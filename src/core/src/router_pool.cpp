@@ -193,4 +193,74 @@ telemetry::CounterSnapshot RouterPool::counters() const {
   return telemetry::aggregate(all);
 }
 
+namespace {
+
+// KeyNamer over fn_by_key slots (slot = key % 32; live keys are 1..16, so
+// the mapping is exact and unused slots never render).
+std::string_view key_slot_name(std::size_t slot) {
+  return op_key_name(static_cast<OpKey>(slot));
+}
+
+}  // namespace
+
+void RouterPool::write_stats(telemetry::StatsWriter& w) const {
+  // Fleet view: aggregated counters, then latency histograms merged across
+  // every worker that has RouterEnv::stats installed.
+  telemetry::write_counter_snapshot(w, counters(), {}, &key_slot_name);
+
+  telemetry::HistogramSnapshot bind, validate, dispatch;
+  std::array<telemetry::HistogramSnapshot, telemetry::RouterStats::kOpKeySlots> fn{};
+  std::uint64_t sampled = 0;
+  std::uint64_t trace_dropped = 0;
+  bool any_stats = false;
+  for (const auto& worker : workers_) {
+    const telemetry::RouterStats* stats = worker->router->env().stats.get();
+    if (stats == nullptr) continue;
+    any_stats = true;
+    bind += stats->phase_bind.snapshot();
+    validate += stats->phase_validate.snapshot();
+    dispatch += stats->phase_dispatch.snapshot();
+    for (std::size_t k = 0; k < fn.size(); ++k) fn[k] += stats->fn_ns[k].snapshot();
+    sampled += stats->trace.pushed();
+    trace_dropped += stats->trace.dropped();
+  }
+  if (any_stats) {
+    const telemetry::Label bind_l[] = {{"phase", "bind"}};
+    const telemetry::Label validate_l[] = {{"phase", "validate"}};
+    const telemetry::Label dispatch_l[] = {{"phase", "dispatch"}};
+    telemetry::write_histogram(w, "dip_phase_latency_ns", bind_l, bind);
+    telemetry::write_histogram(w, "dip_phase_latency_ns", validate_l, validate);
+    telemetry::write_histogram(w, "dip_phase_latency_ns", dispatch_l, dispatch);
+    for (std::size_t k = 0; k < fn.size(); ++k) {
+      if (fn[k].count == 0) continue;
+      const telemetry::Label fn_l[] = {{"fn", key_slot_name(k)}};
+      telemetry::write_histogram(w, "dip_fn_latency_ns", fn_l, fn[k]);
+    }
+    w.counter("dip_trace_sampled_total", {}, sampled);
+    w.counter("dip_trace_dropped_total", {}, trace_dropped);
+  }
+
+  // Per-worker series: the fleet counters above are exactly the sum of
+  // these (stats_test pins that invariant), plus live queue depths.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::string idx = std::to_string(i);
+    const telemetry::Label labels[] = {{"worker", idx}};
+    telemetry::write_counter_snapshot(
+        w, workers_[i]->router->env().counters.snapshot(), labels,
+        &key_slot_name);
+    w.counter("dip_worker_queue_depth", labels, queue_depth(i));
+  }
+}
+
+void RouterPool::register_stats(telemetry::StatsRegistry& registry) const {
+  registry.add("router_pool",
+               [this](telemetry::StatsWriter& w) { write_stats(w); });
+}
+
+std::string RouterPool::dump_stats() const {
+  telemetry::StatsWriter w;
+  write_stats(w);
+  return w.take();
+}
+
 }  // namespace dip::core

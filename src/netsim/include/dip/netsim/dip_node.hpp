@@ -7,6 +7,7 @@
 #include "dip/core/registry.hpp"
 #include "dip/core/router.hpp"
 #include "dip/netsim/network.hpp"
+#include "dip/telemetry/exposition.hpp"
 
 namespace dip::netsim {
 
@@ -36,6 +37,18 @@ class DipRouterNode final : public Node {
   [[nodiscard]] std::uint64_t drops(core::DropReason reason) const {
     return drop_counts_[static_cast<std::size_t>(reason)];
   }
+
+  /// Render this node's stats: router counters and (when RouterEnv::stats
+  /// is installed) latency histograms, all labelled node="<node_id>", plus
+  /// dip_node_drops_total{reason=...} from the verdict ledger. Catalogue in
+  /// docs/OBSERVABILITY.md.
+  void write_stats(telemetry::StatsWriter& w) const;
+
+  /// write_stats as a StatsRegistry section named "node <node_id>".
+  void register_stats(telemetry::StatsRegistry& registry) const;
+
+  /// One-call text exposition of write_stats().
+  [[nodiscard]] std::string dump_stats() const;
 
  private:
   /// Apply one verdict: forward/replicate, count a drop, or emit the error

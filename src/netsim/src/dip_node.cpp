@@ -73,6 +73,37 @@ void DipRouterNode::apply_verdict(FaceId face, PacketBytes& packet,
   }
 }
 
+void DipRouterNode::write_stats(telemetry::StatsWriter& w) const {
+  const std::string node_id = std::to_string(router_.env().node_id);
+  const telemetry::Label labels[] = {{"node", node_id}};
+  const auto namer = [](std::size_t slot) {
+    return core::op_key_name(static_cast<core::OpKey>(slot));
+  };
+  telemetry::write_counter_snapshot(w, router_.env().counters.snapshot(),
+                                    labels, +namer);
+  if (const telemetry::RouterStats* stats = router_.env().stats.get()) {
+    telemetry::write_router_stats(w, *stats, labels, +namer);
+  }
+  for (std::size_t r = 0; r < drop_counts_.size(); ++r) {
+    if (drop_counts_[r] == 0) continue;
+    const telemetry::Label drop_labels[] = {
+        {"node", node_id},
+        {"reason", core::to_string(static_cast<core::DropReason>(r))}};
+    w.counter("dip_node_drops_total", drop_labels, drop_counts_[r]);
+  }
+}
+
+void DipRouterNode::register_stats(telemetry::StatsRegistry& registry) const {
+  registry.add("node " + std::to_string(router_.env().node_id),
+               [this](telemetry::StatsWriter& w) { write_stats(w); });
+}
+
+std::string DipRouterNode::dump_stats() const {
+  telemetry::StatsWriter w;
+  write_stats(w);
+  return w.take();
+}
+
 void DipRouterNode::emit_error(const PacketBytes& original, core::OpKey offending,
                                FaceId ingress) {
   // §2.4: notify the source through a mechanism similar to ICMP. The

@@ -1,0 +1,136 @@
+// Lock-free latency histogram with power-of-two buckets.
+//
+// The router-internal half of the observability story (the in-band half is
+// F_int, telemetry.hpp): per-worker routers record nanosecond durations
+// into relaxed-atomic buckets, and a control thread snapshots them without
+// stopping the data path — the same contract as RouterCounters.
+//
+// Bucket scheme: bucket i counts values whose bit width is i, i.e.
+//   bucket 0 = {0}, bucket 1 = {1}, bucket i = [2^(i-1), 2^i - 1].
+// 40 buckets cover [0, 2^39) ns ≈ 9 minutes; larger values clamp into the
+// last bucket. Power-of-two boundaries make record() one bit_width plus one
+// fetch_add, and merging is element-wise addition — snapshots from N
+// workers fold into one fleet view exactly like CounterSnapshot.
+//
+// This header is dependency-free on purpose (see counters.hpp): dip::core
+// embeds these types inside RouterEnv via stats.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+namespace dip::telemetry {
+
+/// Monotonic nanosecond wall clock for latency measurement. Never feeds
+/// protocol logic (SimTime does that); this is observability only.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// Bucket index for a recorded value (see the scheme above).
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t value) noexcept {
+  const std::size_t w = static_cast<std::size_t>(std::bit_width(value));
+  return w < kHistogramBuckets ? w : kHistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket i (the Prometheus `le` label value).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_upper(std::size_t i) noexcept {
+  return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+}
+
+/// Plain-integer image of one LatencyHistogram (or a sum of several).
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) noexcept {
+    for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    return *this;
+  }
+  friend HistogramSnapshot operator+(HistogramSnapshot a,
+                                     const HistogramSnapshot& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  /// Value at quantile q in [0,1], linearly interpolated inside the bucket
+  /// the quantile lands in. 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      const std::uint64_t prev = cum;
+      cum += buckets[i];
+      if (static_cast<double>(cum) >= target) {
+        const double lower =
+            i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+        const double upper = static_cast<double>(histogram_bucket_upper(i));
+        const double frac = (target - static_cast<double>(prev)) /
+                            static_cast<double>(buckets[i]);
+        return lower + (upper - lower) * frac;
+      }
+    }
+    return static_cast<double>(histogram_bucket_upper(kHistogramBuckets - 1));
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// The recordable histogram. Copy/move snapshot the source values (copies
+/// happen only at setup/snapshot time, like RelaxedCounter), keeping the
+/// containing structs movable.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() noexcept = default;
+  LatencyHistogram(const LatencyHistogram& other) noexcept { *this = other; }
+  LatencyHistogram& operator=(const LatencyHistogram& other) noexcept {
+    const HistogramSnapshot s = other.snapshot();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i].store(s.buckets[i], std::memory_order_relaxed);
+    }
+    count_.store(s.count, std::memory_order_relaxed);
+    sum_.store(s.sum, std::memory_order_relaxed);
+    return *this;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace dip::telemetry

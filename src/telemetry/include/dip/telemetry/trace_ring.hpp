@@ -1,0 +1,139 @@
+// Per-worker trace ring: sampled per-packet FN execution records.
+//
+// Histograms answer "how long"; the trace ring answers "what exactly ran".
+// A 1-in-N Sampler picks packets on the dispatch path; for each sampled
+// packet the router pushes one TraceRecord (the FN triple list, the
+// verdict, and ns timestamps) into a fixed-size ring. A control thread
+// drains the ring while the worker keeps routing.
+//
+// The ring reuses the SpscRing storage pattern (power-of-two slot array,
+// monotonic head/tail counters) but with *overwrite-when-full* semantics:
+// tracing must never block or backpressure the data path, so when the
+// reader falls behind, the oldest unread records are overwritten and
+// counted in dropped(). Pushes are rare by construction (one per N
+// packets), so push/drain serialize on a mutex — at the default period the
+// amortized cost is well under a nanosecond per packet, and the control
+// thread gets torn-record-free drains without a seqlock.
+//
+// Dependency-free on purpose (see counters.hpp): core embeds a TraceRing
+// inside RouterEnv via stats.hpp, so FN fields are mirrored as plain
+// integers rather than core types (op includes the host-tag bit, exactly
+// as carried on the wire).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dip::telemetry {
+
+/// One FN triple as executed (mirror of core::FnTriple's wire fields).
+struct TraceFn {
+  std::uint16_t field_loc = 0;  ///< bit offset into the locations block
+  std::uint16_t field_len = 0;  ///< field length in bits
+  std::uint16_t op = 0;         ///< tag(1) | key(15)
+
+  friend bool operator==(const TraceFn&, const TraceFn&) = default;
+};
+
+/// One sampled packet's execution record.
+struct TraceRecord {
+  static constexpr std::size_t kMaxFns = 16;  ///< == HeaderView::kMaxFns
+
+  std::uint64_t seq = 0;         ///< sample sequence number (per ring)
+  std::uint64_t start_ns = 0;    ///< now_ns() at dispatch start
+  std::uint64_t sim_now = 0;     ///< the packet's SimTime
+  std::uint32_t duration_ns = 0; ///< dispatch wall time
+  std::uint32_t ingress = 0;     ///< ingress face
+  std::uint8_t fn_count = 0;
+  std::uint8_t action = 0;       ///< core::Action numeric value
+  std::uint8_t reason = 0;       ///< core::DropReason numeric value
+  std::uint8_t egress_count = 0; ///< verdict fan-out (faces forwarded to)
+  std::array<TraceFn, kMaxFns> fns{};
+};
+
+/// Deterministic 1-in-N sampler: with period P, packets 0, P, 2P, ... of
+/// the stream tick true. period 0 disables sampling entirely; period 1
+/// samples every packet. Single-threaded (one per worker).
+class Sampler {
+ public:
+  explicit Sampler(std::uint32_t period = 0) noexcept : period_(period) {}
+
+  [[nodiscard]] std::uint32_t period() const noexcept { return period_; }
+
+  bool tick() noexcept {
+    if (period_ == 0) return false;
+    if (countdown_ == 0) {
+      countdown_ = period_ - 1;
+      return true;
+    }
+    --countdown_;
+    return false;
+  }
+
+ private:
+  std::uint32_t period_;
+  std::uint32_t countdown_ = 0;
+};
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2 slots).
+  explicit TraceRing(std::size_t capacity = 1024) {
+    std::size_t p = 2;
+    while (p < capacity) p <<= 1;
+    slots_.resize(p);
+    mask_ = p - 1;
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer (worker) side: append a record, overwriting the oldest unread
+  /// one when the ring is full. Stamps record.seq.
+  void push(TraceRecord record) {
+    std::lock_guard<std::mutex> lk(m_);
+    record.seq = tail_;
+    slots_[tail_ & mask_] = record;
+    ++tail_;
+    if (tail_ - head_ > slots_.size()) {
+      ++head_;  // oldest record overwritten before it was read
+      ++dropped_;
+    }
+  }
+
+  /// Consumer (control thread) side: move every unread record into `out`
+  /// (appended, oldest first). Returns the number drained.
+  std::size_t drain(std::vector<TraceRecord>& out) {
+    std::lock_guard<std::mutex> lk(m_);
+    const std::size_t n = static_cast<std::size_t>(tail_ - head_);
+    out.reserve(out.size() + n);
+    for (; head_ != tail_; ++head_) out.push_back(slots_[head_ & mask_]);
+    return n;
+  }
+
+  /// Total records pushed since construction.
+  [[nodiscard]] std::uint64_t pushed() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return tail_;
+  }
+
+  /// Records overwritten before a drain could read them.
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return dropped_;
+  }
+
+ private:
+  std::vector<TraceRecord> slots_;
+  std::size_t mask_ = 0;
+  mutable std::mutex m_;
+  std::uint64_t head_ = 0;     ///< next unread record
+  std::uint64_t tail_ = 0;     ///< next write position == records pushed
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dip::telemetry
