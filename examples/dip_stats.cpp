@@ -10,9 +10,12 @@
 //      per-FN / per-phase latency quantiles out of the histograms;
 //   2. a drained trace-ring sample — the exact FN programs and verdicts of
 //      sampled packets;
-//   3. the full Prometheus-style text exposition (written to the optional
+//   3. the chaos-layer drop reasons — corrupt-quarantine on a lenient
+//      router behind a corrupting link, and overload shedding on a tiny
+//      pool (docs/FAULTS.md has the taxonomy);
+//   4. the full Prometheus-style text exposition (written to the optional
 //      file argument, else printed), composed through a StatsRegistry that
-//      also carries a netsim DipRouterNode section.
+//      carries pool, node, and network sections.
 //
 // The metric catalogue is documented in docs/OBSERVABILITY.md.
 #include <cstdio>
@@ -162,24 +165,75 @@ int main(int argc, char** argv) {
     std::printf("] action=%u egress=%u\n", r.action, r.egress_count);
   }
 
-  // --- 3. Full exposition page via a StatsRegistry. ----------------------
-  // A netsim node contributes its own section alongside the pool: route one
-  // packet through a DipRouterNode with stats to show the node surface.
-  netsim::Network net;
+  // --- 3. Graceful degradation: a corrupting link into a lenient node, ---
+  // --- plus overload shedding — the chaos-layer drop reasons (see --------
+  // --- docs/FAULTS.md) land in the same exposition page. -----------------
+  netsim::Network net(0xC5A0);
+  netsim::HostNode chaos_sender;
   core::RouterEnv node_env = netsim::make_basic_env(99);
   node_env.fib32 = fib32;
   node_env.stats = telemetry::make_router_stats(
       {.sample_period = 1, .burst_period = 1, .trace_capacity = 64});
   netsim::DipRouterNode node(std::move(node_env), registry);
+  node.router().set_validation(core::ValidationMode::kLenient);
+  net.add_node(chaos_sender);
   net.add_node(node);
-  auto probe = core::make_dip32_header(fib::ipv4_from_u32(flow_addr(1)),
-                                       fib::parse_ipv4("172.16.0.1").value())
-                   ->serialize();
-  node.on_packet(0, probe, 0);
+  netsim::LinkParams chaos_link;
+  chaos_link.faults.drop_rate = 0.05;
+  chaos_link.faults.corrupt_rate = 0.3;
+  chaos_link.faults.corrupt_max_bytes = 2;
+  const auto chaos_face = net.connect(chaos_sender, node, chaos_link).first;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    net.loop().schedule_at(static_cast<SimTime>(i) * kMicrosecond, [&, i] {
+      chaos_sender.send(chaos_face,
+                        core::make_dip32_header(fib::ipv4_from_u32(flow_addr(i % kFlows)),
+                                                fib::parse_ipv4("172.16.0.1").value())
+                            ->serialize());
+    });
+  }
+  net.run();
+  std::printf("\n[chaos] faulty link (drop 5%%, corrupt 30%%) into a lenient router:\n");
+  std::printf("  delivered=%llu lost=%llu corrupted=%llu quarantined=%llu\n",
+              static_cast<unsigned long long>(net.stats().delivered),
+              static_cast<unsigned long long>(net.stats().lost),
+              static_cast<unsigned long long>(net.stats().corrupted),
+              static_cast<unsigned long long>(node.env().counters.quarantined.load()));
 
+  // Overload shedding: a deliberately tiny 1-worker pool under a burst —
+  // try_submit refuses work with a tagged verdict instead of stalling.
+  core::RouterPoolConfig tiny;
+  tiny.workers = 1;
+  tiny.ring_capacity = 64;
+  tiny.overload = core::OverloadPolicy::kShed;
+  std::uint64_t shed_refusals = 0;
+  {
+    core::RouterPool tiny_pool(
+        registry.get(),
+        [&fib32](std::size_t) {
+          core::RouterEnv env = netsim::make_basic_env(7);
+          env.fib32 = fib32;
+          return env;
+        },
+        tiny);
+    for (std::size_t i = 0; i < 20000; ++i) {
+      auto packet = core::make_dip32_header(fib::ipv4_from_u32(flow_addr(i % kFlows)),
+                                            fib::parse_ipv4("172.16.0.1").value())
+                        ->serialize();
+      if (!tiny_pool.try_submit(std::move(packet), 0, i).has_value()) ++shed_refusals;
+    }
+    tiny_pool.drain();
+    shed_refusals = tiny_pool.shed_total();
+    tiny_pool.stop();
+  }
+  std::printf("[chaos] 20000-packet burst into a 64-slot 1-worker pool: %llu shed "
+              "(dip_shed_total)\n",
+              static_cast<unsigned long long>(shed_refusals));
+
+  // --- 4. Full exposition page via a StatsRegistry: pool + node + network.
   telemetry::StatsRegistry page;
   pool.register_stats(page);
   node.register_stats(page);
+  net.register_stats(page);
   const std::string exposition = page.render();
 
   if (argc > 1) {

@@ -64,12 +64,19 @@ cmake --build build-san
 echo "== tests under sanitizers =="
 ctest --test-dir build-san --output-on-failure
 
-echo "== TSan build (RouterPool / SpscRing concurrency) =="
+echo "== TSan build (RouterPool / SpscRing concurrency + chaos harness) =="
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
   >/dev/null
-cmake --build build-tsan --target pipeline_test stats_test
+cmake --build build-tsan --target pipeline_test stats_test chaos_test differential_test
 
-echo "== pipeline + stats tests under TSan =="
-ctest --test-dir build-tsan -R "pipeline_test|stats_test" --output-on-failure
+echo "== pipeline + stats + chaos + differential tests under TSan =="
+ctest --test-dir build-tsan -R "pipeline_test|stats_test|chaos_test|differential_test" \
+  --output-on-failure
+
+echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="
+# The committed BENCH_chaos.json comes from:
+#   build/bench/bench_chaos --benchmark_min_time=0.2 \
+#     --benchmark_out=BENCH_chaos.json --benchmark_out_format=json
+# The smoke loop above already executes bench_chaos once per run.
 
 echo "ALL CHECKS PASSED"

@@ -47,6 +47,15 @@ namespace dip::core {
 
 enum class DispatchStrategy : std::uint8_t { kLoop, kUnrolled };
 
+/// How the router treats structurally damaged packets (chaos links flip
+/// bytes; see docs/FAULTS.md).
+///   * kStrict  — bind failures drop as kMalformed (historical behaviour).
+///   * kLenient — bind failures *and* FN slices that overrun the locations
+///     block are quarantined: dropped as kCorruptQuarantine, counted in
+///     counters.quarantined, and force-recorded into the TraceRing (the
+///     sampler is bypassed so no corrupt packet escapes the ledger).
+enum class ValidationMode : std::uint8_t { kStrict, kLenient };
+
 /// One slot of a burst handed to Router::process_batch: a view over the
 /// full mutable packet bytes (header + payload; tag fields are rewritten
 /// in place).
@@ -85,6 +94,8 @@ class Router {
   [[nodiscard]] const RouterEnv& env() const noexcept { return env_; }
   [[nodiscard]] DispatchStrategy strategy() const noexcept { return strategy_; }
   void set_strategy(DispatchStrategy s) noexcept { strategy_ = s; }
+  [[nodiscard]] ValidationMode validation() const noexcept { return validation_; }
+  void set_validation(ValidationMode m) noexcept { validation_ = m; }
 
  private:
   /// Dense module table size; OpKey values live well below this.
@@ -108,6 +119,15 @@ class Router {
   void record_trace(const HeaderView& view, FaceId ingress, SimTime now,
                     std::uint64_t t_start, const ProcessResult& result);
 
+  /// Lenient-mode quarantine: tag the result, bump the quarantined counter,
+  /// and force a trace-ring record (`view` may be null when bind failed).
+  void quarantine(const HeaderView* view, FaceId ingress, SimTime now,
+                  ProcessResult& result);
+
+  /// True when every FN slice fits inside the locations block (lenient-mode
+  /// structural check; corrupt loc/len triples fail this).
+  [[nodiscard]] static bool fns_fit(const HeaderView& view) noexcept;
+
   void dispatch(HeaderView& view, FaceId ingress, SimTime now, ProcessResult& result);
   void dispatch_loop(HeaderView& view, FaceId ingress, SimTime now,
                      ProcessResult& result);
@@ -129,6 +149,7 @@ class Router {
   RouterEnv env_;
   const OpRegistry* registry_;
   DispatchStrategy strategy_;
+  ValidationMode validation_ = ValidationMode::kStrict;
 
   // Dense key->module table rebuilt when the registry epoch moves (the §5
   // runtime-upgrade path keeps working; steady-state lookups are one load).

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -31,6 +32,15 @@
 #include "dip/telemetry/exposition.hpp"
 
 namespace dip::core {
+
+/// What submit() does when the target worker's ring is full.
+///   * kBlock — spin/yield until a slot frees (historical behaviour; the
+///     dispatcher absorbs backpressure).
+///   * kShed  — drop the packet immediately with a tagged verdict
+///     (Action::kDrop, DropReason::kOverloadShed) delivered through the
+///     completion callback, and count it in the shed ledger. A router that
+///     sheds visibly beats one that stalls silently (docs/FAULTS.md).
+enum class OverloadPolicy : std::uint8_t { kBlock, kShed };
 
 struct RouterPoolConfig {
   /// Worker count; 0 = one per hardware thread.
@@ -45,6 +55,7 @@ struct RouterPoolConfig {
   /// submits a chunk and drains can set this to the chunk size.
   std::size_t wake_batch = 0;
   DispatchStrategy strategy = DispatchStrategy::kLoop;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
 };
 
 class RouterPool {
@@ -70,9 +81,21 @@ class RouterPool {
   RouterPool(const RouterPool&) = delete;
   RouterPool& operator=(const RouterPool&) = delete;
 
-  /// Enqueue one packet (single dispatcher thread only). Blocks while the
-  /// target worker's ring is full. Returns the worker index chosen.
+  /// Enqueue one packet (single dispatcher thread only). When the target
+  /// worker's ring is full: blocks under OverloadPolicy::kBlock, sheds
+  /// under kShed. Returns the worker index chosen (also for shed packets —
+  /// use try_submit to observe the shed).
   std::size_t submit(std::vector<std::uint8_t> packet, FaceId ingress, SimTime now);
+
+  /// Non-blocking submit (single dispatcher thread only). Returns the
+  /// worker index, or nullopt when the target ring was full and the packet
+  /// was shed: the completion callback fires immediately *on the dispatcher
+  /// thread* with DropReason::kOverloadShed and the shed ledger advances.
+  std::optional<std::size_t> try_submit(std::vector<std::uint8_t> packet,
+                                        FaceId ingress, SimTime now);
+
+  /// Packets shed at ingress (all workers).
+  [[nodiscard]] std::uint64_t shed_total() const noexcept;
 
   /// The worker a packet would shard to: RSS hash of the first router-side
   /// FN's sliced field (whole-packet hash when no usable field exists).
@@ -118,6 +141,7 @@ class RouterPool {
     std::size_t index = 0;
     std::size_t wake_threshold = 1;
     std::uint64_t submitted = 0;  ///< dispatcher-side only
+    telemetry::RelaxedCounter shed;  ///< ingress sheds (dispatcher bumps)
     std::atomic<std::uint64_t> completed{0};
     std::atomic<bool> parked{false};
     std::mutex m;
@@ -127,6 +151,8 @@ class RouterPool {
 
   void worker_main(Worker& w);
   static void wake(Worker& w);
+  /// Count + report one ingress shed (dispatcher thread).
+  void shed(std::size_t worker, Item& item);
 
   RouterPoolConfig config_;
   std::atomic<bool> running_{true};

@@ -28,6 +28,8 @@ enum class DropReason : std::uint8_t {
   kPolicyDenied,     ///< F_pass rejected the source label
   kAggregated,       ///< interest suppressed; an upstream request is pending
   kRateExceeded,     ///< F_dps fair-share policing dropped the packet
+  kOverloadShed,     ///< RouterPool ingress shed (bounded queue full)
+  kCorruptQuarantine,  ///< lenient validation quarantined a corrupt FN list
 };
 
 [[nodiscard]] std::string_view to_string(DropReason r) noexcept;

@@ -41,7 +41,11 @@ void Router::process_batch(std::span<const PacketRef> packets, FaceId ingress,
     results[i].reset();
     auto view = HeaderView::bind(packets[i].bytes);
     if (!view) {
-      results[i].drop(DropReason::kMalformed);
+      if (validation_ == ValidationMode::kLenient) {
+        quarantine(nullptr, ingress, now, results[i]);
+      } else {
+        results[i].drop(DropReason::kMalformed);
+      }
       continue;
     }
     views_[i] = *view;
@@ -58,6 +62,14 @@ void Router::process_batch(std::span<const PacketRef> packets, FaceId ingress,
   std::uint64_t dropped = 0;
   for (std::size_t i = 0; i < packets.size(); ++i) {
     if (!bound_[i]) {
+      ++dropped;
+      continue;
+    }
+    if (validation_ == ValidationMode::kLenient && !fns_fit(views_[i])) {
+      // A bindable header whose FN slices overrun the locations block is
+      // byte damage, not a protocol violation: quarantine it.
+      quarantine(&views_[i], ingress, now, results[i]);
+      bound_[i] = 0;
       ++dropped;
       continue;
     }
@@ -140,6 +152,44 @@ void Router::record_trace(const HeaderView& view, FaceId ingress, SimTime now,
   rec.egress_count = static_cast<std::uint8_t>(
       result.egress.size() < 255 ? result.egress.size() : 255);
   env_.stats->trace.push(rec);
+}
+
+bool Router::fns_fit(const HeaderView& view) noexcept {
+  const std::size_t loc_bits = view.locations().size() * 8;
+  for (const FnTriple& fn : view.fns()) {
+    if (fn.host_tagged()) continue;  // routers never slice host-tagged fields
+    if (static_cast<std::size_t>(fn.field_loc) + fn.field_len > loc_bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Router::quarantine(const HeaderView* view, FaceId ingress, SimTime now,
+                        ProcessResult& result) {
+  result.drop(DropReason::kCorruptQuarantine);
+  ++env_.counters.quarantined;
+  telemetry::RouterStats* stats = env_.stats.get();
+  if (stats == nullptr) return;
+  // Forced trace record — quarantines bypass the sampler so the TraceRing
+  // holds evidence for every corrupt packet (bounded by ring overwrite).
+  telemetry::TraceRecord rec;
+  rec.start_ns = 0;
+  rec.sim_now = now;
+  rec.duration_ns = 0;
+  rec.ingress = ingress;
+  rec.fn_count = 0;
+  if (view != nullptr) {
+    const auto fns = view->fns();
+    rec.fn_count = static_cast<std::uint8_t>(fns.size());
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      rec.fns[i] = {fns[i].field_loc, fns[i].field_len, fns[i].op};
+    }
+  }
+  rec.action = static_cast<std::uint8_t>(result.action);
+  rec.reason = static_cast<std::uint8_t>(result.reason);
+  rec.egress_count = 0;
+  stats->trace.push(rec);
 }
 
 void Router::dispatch(HeaderView& view, FaceId ingress, SimTime now,

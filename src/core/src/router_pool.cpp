@@ -89,6 +89,10 @@ std::size_t RouterPool::submit(std::vector<std::uint8_t> packet, FaceId ingress,
   Worker& w = *workers_[idx];
   Item item{std::move(packet), ingress, now};
   while (!w.ring.try_push(std::move(item))) {
+    if (config_.overload == OverloadPolicy::kShed) {
+      shed(idx, item);
+      return idx;
+    }
     // Ring full: make sure the worker is draining it, then yield.
     if (w.parked.exchange(false, std::memory_order_seq_cst)) wake(w);
     std::this_thread::yield();
@@ -107,6 +111,44 @@ std::size_t RouterPool::submit(std::vector<std::uint8_t> packet, FaceId ingress,
     wake(w);
   }
   return idx;
+}
+
+std::optional<std::size_t> RouterPool::try_submit(std::vector<std::uint8_t> packet,
+                                                  FaceId ingress, SimTime now) {
+  const std::size_t idx = shard_of(packet, workers_.size());
+  Worker& w = *workers_[idx];
+  Item item{std::move(packet), ingress, now};
+  if (!w.ring.try_push(std::move(item))) {
+    // Nudge the worker so the overload clears, then shed this packet.
+    if (w.parked.exchange(false, std::memory_order_seq_cst)) wake(w);
+    shed(idx, item);
+    return std::nullopt;
+  }
+  ++w.submitted;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (w.ring.size() >= w.wake_threshold &&
+      w.parked.load(std::memory_order_relaxed) &&
+      w.parked.exchange(false, std::memory_order_seq_cst)) {
+    wake(w);
+  }
+  return idx;
+}
+
+void RouterPool::shed(std::size_t worker, Item& item) {
+  ++workers_[worker]->shed;
+  if (on_complete_) {
+    // The one completion that runs on the dispatcher thread, not the
+    // worker's: the packet never reached a worker.
+    ProcessResult result;
+    result.drop(DropReason::kOverloadShed);
+    on_complete_(worker, item, result);
+  }
+}
+
+std::uint64_t RouterPool::shed_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->shed.load();
+  return total;
 }
 
 void RouterPool::wake(Worker& w) {
@@ -207,6 +249,7 @@ void RouterPool::write_stats(telemetry::StatsWriter& w) const {
   // Fleet view: aggregated counters, then latency histograms merged across
   // every worker that has RouterEnv::stats installed.
   telemetry::write_counter_snapshot(w, counters(), {}, &key_slot_name);
+  w.counter("dip_shed_total", {}, shed_total());
 
   telemetry::HistogramSnapshot bind, validate, dispatch;
   std::array<telemetry::HistogramSnapshot, telemetry::RouterStats::kOpKeySlots> fn{};
@@ -248,6 +291,7 @@ void RouterPool::write_stats(telemetry::StatsWriter& w) const {
     telemetry::write_counter_snapshot(
         w, workers_[i]->router->env().counters.snapshot(), labels,
         &key_slot_name);
+    w.counter("dip_worker_shed_total", labels, workers_[i]->shed.load());
     w.counter("dip_worker_queue_depth", labels, queue_depth(i));
   }
 }

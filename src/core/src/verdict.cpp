@@ -16,6 +16,8 @@ std::string_view to_string(DropReason r) noexcept {
     case DropReason::kPolicyDenied: return "policy-denied";
     case DropReason::kAggregated: return "aggregated";
     case DropReason::kRateExceeded: return "rate-exceeded";
+    case DropReason::kOverloadShed: return "overload-shed";
+    case DropReason::kCorruptQuarantine: return "corrupt-quarantine";
   }
   return "unknown";
 }

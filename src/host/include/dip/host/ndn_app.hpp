@@ -10,6 +10,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "dip/host/retry.hpp"
 #include "dip/host/session_store.hpp"
 #include "dip/opt/opt.hpp"
 #include "dip/ndn/ndn.hpp"
@@ -22,6 +23,15 @@ namespace dip::host {
 struct ConsumerConfig {
   SimDuration retransmit_timeout = 100 * kMillisecond;
   std::uint32_t max_retries = 3;
+  /// Timeout multiplier per retransmission (1.0 = fixed interval, the
+  /// historical behaviour; >1 backs off under sustained loss).
+  double backoff = 1.0;
+  /// Ceiling for the backed-off timeout.
+  SimDuration max_timeout = 2 * kSecond;
+
+  [[nodiscard]] RetryPolicy policy() const noexcept {
+    return {max_retries, retransmit_timeout, backoff, max_timeout};
+  }
 };
 
 class NdnConsumer {
@@ -50,6 +60,7 @@ class NdnConsumer {
     DataHandler on_data;
     FailureHandler on_failure;
     std::uint32_t retries_left = 0;
+    std::uint32_t attempt = 0;  ///< transmissions so far minus one (backoff)
     std::uint64_t epoch = 0;  ///< invalidates stale timers
   };
 

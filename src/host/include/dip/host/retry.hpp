@@ -1,0 +1,77 @@
+// Host-side retransmission: a timeout/backoff policy and a generic
+// retry driver over HostNode.
+//
+// Chaos links (netsim FaultPlan) drop, corrupt, and blackhole packets; the
+// network layer only promises best effort, so host sessions that need an
+// answer — OPT-verified requests, NDN interests — must retransmit. The
+// policy is deliberately tiny: a retry budget and an exponentially backed
+// off timeout with a ceiling, driven entirely by the simulated event loop
+// so recovery behaviour replays deterministically with the fault trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dip/netsim/dip_node.hpp"
+
+namespace dip::host {
+
+/// Timeout/backoff schedule shared by ReliableSender and NdnConsumer.
+struct RetryPolicy {
+  std::uint32_t max_retries = 3;
+  SimDuration initial_timeout = 100 * kMillisecond;
+  /// Timeout multiplier per attempt (1.0 = fixed interval).
+  double backoff = 2.0;
+  /// Ceiling for the backed-off timeout.
+  SimDuration max_timeout = 2 * kSecond;
+
+  /// The timeout armed after transmission `attempt` (0 = the original).
+  [[nodiscard]] SimDuration timeout_for(std::uint32_t attempt) const noexcept {
+    const double cap = static_cast<double>(max_timeout);
+    double t = static_cast<double>(initial_timeout);
+    for (std::uint32_t i = 0; i < attempt && t < cap; ++i) t *= backoff;
+    return t < cap ? static_cast<SimDuration>(t) : max_timeout;
+  }
+};
+
+/// Retransmits one in-flight request until acknowledge() or the retry
+/// budget runs out. The caller keeps ownership of the response matching
+/// (HostNode receiver, OPT verification, ...) and calls acknowledge() when
+/// satisfied; the factory is re-invoked per attempt so retransmissions can
+/// refresh timestamps or sequence numbers.
+class ReliableSender {
+ public:
+  using PacketFactory = std::function<netsim::PacketBytes(std::uint32_t attempt)>;
+  using FailureHandler = std::function<void()>;
+
+  /// `node` must outlive the sender and be attached to a network.
+  ReliableSender(netsim::HostNode& node, netsim::FaceId face,
+                 RetryPolicy policy = {})
+      : node_(node), face_(face), policy_(policy) {}
+
+  /// Transmit factory(0) now; retransmit on each timeout until
+  /// acknowledge(), then give up after max_retries and fire `on_failure`.
+  /// A new send() supersedes any request still in flight.
+  void send(PacketFactory factory, FailureHandler on_failure = {});
+
+  /// The response arrived; cancel retransmission.
+  void acknowledge() noexcept { pending_ = false; }
+
+  [[nodiscard]] bool pending() const noexcept { return pending_; }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retx_; }
+
+ private:
+  void arm(std::uint64_t epoch);
+
+  netsim::HostNode& node_;
+  netsim::FaceId face_;
+  RetryPolicy policy_;
+  PacketFactory factory_;
+  FailureHandler on_failure_;
+  bool pending_ = false;
+  std::uint32_t attempt_ = 0;
+  std::uint64_t epoch_ = 0;  ///< invalidates timers of superseded sends
+  std::uint64_t retx_ = 0;
+};
+
+}  // namespace dip::host

@@ -34,7 +34,10 @@ void NdnConsumer::send_interest(std::uint32_t code) {
 }
 
 void NdnConsumer::arm_timer(std::uint32_t code, std::uint64_t epoch) {
-  node_.network()->loop().schedule_in(config_.retransmit_timeout, [this, code, epoch] {
+  const auto armed = pending_.find(code);
+  if (armed == pending_.end()) return;
+  const SimDuration timeout = config_.policy().timeout_for(armed->second.attempt);
+  node_.network()->loop().schedule_in(timeout, [this, code, epoch] {
     const auto it = pending_.find(code);
     if (it == pending_.end() || it->second.epoch != epoch) return;  // satisfied
     PendingInterest& pi = it->second;
@@ -46,6 +49,7 @@ void NdnConsumer::arm_timer(std::uint32_t code, std::uint64_t epoch) {
       return;
     }
     --pi.retries_left;
+    ++pi.attempt;
     ++retx_;
     const std::uint64_t fresh = next_epoch_++;
     pi.epoch = fresh;

@@ -1,0 +1,31 @@
+#include "dip/host/retry.hpp"
+
+namespace dip::host {
+
+void ReliableSender::send(PacketFactory factory, FailureHandler on_failure) {
+  factory_ = std::move(factory);
+  on_failure_ = std::move(on_failure);
+  pending_ = true;
+  attempt_ = 0;
+  const std::uint64_t epoch = ++epoch_;
+  node_.send(face_, factory_(0));
+  arm(epoch);
+}
+
+void ReliableSender::arm(std::uint64_t epoch) {
+  node_.network()->loop().schedule_in(
+      policy_.timeout_for(attempt_), [this, epoch] {
+        if (!pending_ || epoch != epoch_) return;  // satisfied or superseded
+        if (attempt_ >= policy_.max_retries) {
+          pending_ = false;
+          if (on_failure_) on_failure_();
+          return;
+        }
+        ++attempt_;
+        ++retx_;
+        node_.send(face_, factory_(attempt_));
+        arm(epoch);
+      });
+}
+
+}  // namespace dip::host

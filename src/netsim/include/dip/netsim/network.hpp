@@ -6,6 +6,7 @@
 // optional deterministic loss rate. Delivery is in-order per link.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,6 +16,8 @@
 
 #include "dip/crypto/random.hpp"
 #include "dip/netsim/event_loop.hpp"
+#include "dip/netsim/faults.hpp"
+#include "dip/telemetry/exposition.hpp"
 
 namespace dip::netsim {
 
@@ -52,11 +55,20 @@ struct LinkParams {
   /// transmit queue is dropped (0 = infinite queue). Models the finite
   /// buffers the NetFence/CSFQ experiments congest against.
   SimDuration max_queue_delay = 0;
+  /// Deterministic fault schedule (drop/duplicate/corrupt/reorder/blackout);
+  /// inactive by default. See faults.hpp and docs/FAULTS.md.
+  FaultPlan faults;
 };
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Network(std::uint64_t seed = 1) : rng_(seed), fault_seed_(seed) {}
+
+  /// Seed for every link's fault PRNG (defaults to the network seed). Must
+  /// be set before the first packet is transmitted; re-seeding afterwards
+  /// would fork the trace mid-run.
+  void set_fault_seed(std::uint64_t seed) noexcept { fault_seed_ = seed; }
+  [[nodiscard]] std::uint64_t fault_seed() const noexcept { return fault_seed_; }
 
   /// Attach a node; the network does not own it.
   NodeId add_node(Node& node);
@@ -78,15 +90,39 @@ class Network {
   /// Run the simulation to quiescence (or deadline).
   std::size_t run(SimTime deadline = ~SimTime{0}) { return loop_.run(deadline); }
 
+  /// Transport ledger. Every transmitted packet (plus every injected
+  /// duplicate) ends in exactly one terminal bucket:
+  ///   transmitted + duplicated == delivered + lost + blackholed + queue_dropped
+  /// `corrupted` is informational — it counts *delivered* packets whose
+  /// bytes were mutated; a corrupted-then-dropped packet counts once, in
+  /// its drop bucket only (chaos_test pins both invariants).
   struct Stats {
     std::uint64_t transmitted = 0;
     std::uint64_t delivered = 0;
-    std::uint64_t lost = 0;
+    std::uint64_t lost = 0;           ///< loss_rate + FaultPlan::drop_rate drops
     std::uint64_t queue_dropped = 0;  ///< tail drops at full transmit queues
     std::uint64_t dead_faced = 0;  ///< sent on an unconnected face
     std::uint64_t bytes = 0;
+    std::uint64_t duplicated = 0;  ///< extra copies injected by FaultPlan
+    std::uint64_t corrupted = 0;   ///< delivered with flipped bytes
+    std::uint64_t blackholed = 0;  ///< transmitted into a blackout window
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Every injected fault in order (bounded by kFaultTraceLimit entries;
+  /// fault_events() keeps the true total). Two runs with equal seeds,
+  /// topology, and traffic produce equal traces.
+  static constexpr std::size_t kFaultTraceLimit = 1 << 16;
+  [[nodiscard]] const std::vector<FaultEvent>& fault_trace() const noexcept {
+    return fault_trace_;
+  }
+  [[nodiscard]] std::uint64_t fault_events() const noexcept { return fault_events_; }
+
+  /// Render the transport ledger and per-fault-kind counters as
+  /// `dip_net_*` series (catalogue in docs/OBSERVABILITY.md).
+  void write_stats(telemetry::StatsWriter& w) const;
+  /// write_stats as a StatsRegistry section named "network".
+  void register_stats(telemetry::StatsRegistry& registry) const;
 
   /// Optional wiretap invoked on every delivered packet (tracing).
   using Tap = std::function<void(NodeId from, NodeId to, FaceId ingress,
@@ -100,15 +136,29 @@ class Network {
     LinkParams params;
     bool connected = false;
     SimTime busy_until = 0;  ///< serialization: in-order, back-to-back
+    // Fault state: a private PRNG (seeded lazily from the fault seed and
+    // the half-link ordinal) and this half-link's packet counter, so one
+    // link's fault draws never perturb another's.
+    std::uint64_t ordinal = 0;
+    std::uint64_t packet_index = 0;
+    crypto::Xoshiro256 fault_rng{0};
+    bool fault_rng_seeded = false;
   };
 
   HalfLink* half(NodeId node, FaceId face);
+  void record_fault(FaultKind kind, NodeId node, FaceId face,
+                    std::uint64_t packet_index, std::uint64_t detail);
 
   EventLoop loop_;
   std::vector<Node*> nodes_;
   // faces_[node][face] -> half link.
   std::vector<std::vector<HalfLink>> faces_;
   crypto::Xoshiro256 rng_;
+  std::uint64_t fault_seed_;
+  std::uint64_t next_link_ordinal_ = 0;
+  std::vector<FaultEvent> fault_trace_;
+  std::uint64_t fault_events_ = 0;
+  std::array<std::uint64_t, 5> faults_by_kind_{};  ///< indexed by FaultKind
   Stats stats_;
   Tap tap_;
 };

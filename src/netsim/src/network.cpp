@@ -4,6 +4,17 @@
 
 namespace dip::netsim {
 
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kBlackout: return "blackout";
+  }
+  return "unknown";
+}
+
 NodeId Network::add_node(Node& node) {
   const auto id = static_cast<NodeId>(nodes_.size());
   node.id_ = id;
@@ -19,8 +30,12 @@ std::pair<FaceId, FaceId> Network::connect(Node& a, Node& b, LinkParams params) 
   auto& fb = faces_[b.id()];
   const auto face_a = static_cast<FaceId>(fa.size());
   const auto face_b = static_cast<FaceId>(fb.size());
-  fa.push_back(HalfLink{b.id(), face_b, params, true, 0});
-  fb.push_back(HalfLink{a.id(), face_a, params, true, 0});
+  HalfLink half_a{b.id(), face_b, params, true, 0, next_link_ordinal_++,
+                  0, crypto::Xoshiro256{0}, false};
+  HalfLink half_b{a.id(), face_a, params, true, 0, next_link_ordinal_++,
+                  0, crypto::Xoshiro256{0}, false};
+  fa.push_back(std::move(half_a));
+  fb.push_back(std::move(half_b));
   return {face_a, face_b};
 }
 
@@ -40,6 +55,15 @@ std::optional<std::pair<NodeId, FaceId>> Network::peer_of(const Node& node,
   return std::make_pair(h.peer_node, h.peer_face);
 }
 
+void Network::record_fault(FaultKind kind, NodeId node, FaceId face,
+                           std::uint64_t packet_index, std::uint64_t detail) {
+  ++fault_events_;
+  ++faults_by_kind_[static_cast<std::size_t>(kind) % faults_by_kind_.size()];
+  if (fault_trace_.size() < kFaultTraceLimit) {
+    fault_trace_.push_back({kind, node, face, packet_index, loop_.now(), detail});
+  }
+}
+
 void Network::send(const Node& from, FaceId face, PacketBytes packet) {
   HalfLink* link = half(from.id(), face);
   if (link == nullptr) {
@@ -54,6 +78,62 @@ void Network::send(const Node& from, FaceId face, PacketBytes packet) {
     return;
   }
 
+  // FaultPlan decisions. Each half-link consumes its own PRNG stream in a
+  // fixed order per packet (drop, duplicate, corrupt, reorder), so the
+  // fault trace is a pure function of (fault seed, topology, traffic).
+  const FaultPlan& plan = link->params.faults;
+  bool duplicate = false;
+  std::uint32_t corrupt_bytes = 0;
+  SimDuration extra_delay = 0;
+  const NodeId from_node = from.id();
+  if (plan.active()) {
+    const std::uint64_t pkt_idx = link->packet_index++;
+    if (!link->fault_rng_seeded) {
+      // SplitMix-style ordinal mix keeps sibling links' streams unrelated.
+      link->fault_rng = crypto::Xoshiro256(
+          fault_seed_ ^ (0x9E3779B97F4A7C15ull * (link->ordinal + 1)));
+      link->fault_rng_seeded = true;
+    }
+    if (plan.in_blackout(loop_.now())) {
+      ++stats_.blackholed;
+      record_fault(FaultKind::kBlackout, from_node, face, pkt_idx, 0);
+      return;
+    }
+    if (plan.drop_rate > 0 && link->fault_rng.uniform() < plan.drop_rate) {
+      ++stats_.lost;
+      record_fault(FaultKind::kDrop, from_node, face, pkt_idx, 0);
+      return;
+    }
+    if (plan.duplicate_rate > 0 &&
+        link->fault_rng.uniform() < plan.duplicate_rate) {
+      duplicate = true;
+    }
+    if (plan.corrupt_rate > 0 && link->fault_rng.uniform() < plan.corrupt_rate &&
+        !packet.empty()) {
+      corrupt_bytes =
+          1 + static_cast<std::uint32_t>(
+                  link->fault_rng.below(std::max<std::uint32_t>(plan.corrupt_max_bytes, 1)));
+    }
+    if (plan.reorder_rate > 0 && link->fault_rng.uniform() < plan.reorder_rate &&
+        plan.reorder_window > 0) {
+      extra_delay = 1 + link->fault_rng.below(plan.reorder_window);
+    }
+    // Corruption mutates the bytes now but is *counted* only if the packet
+    // actually delivers — a corrupted-then-queue-dropped packet lands in
+    // exactly one ledger bucket (queue_dropped).
+    if (corrupt_bytes != 0) {
+      for (std::uint32_t k = 0; k < corrupt_bytes; ++k) {
+        packet[link->fault_rng.below(packet.size())] ^=
+            static_cast<std::uint8_t>(1 + link->fault_rng.below(255));
+      }
+      record_fault(FaultKind::kCorrupt, from_node, face, pkt_idx, corrupt_bytes);
+    }
+    if (duplicate) record_fault(FaultKind::kDuplicate, from_node, face, pkt_idx, 0);
+    if (extra_delay != 0) {
+      record_fault(FaultKind::kReorder, from_node, face, pkt_idx, extra_delay);
+    }
+  }
+
   // Serialization: the face transmits packets back to back, in order.
   const SimDuration tx_time =
       link->params.bandwidth_bps == 0
@@ -65,18 +145,57 @@ void Network::send(const Node& from, FaceId face, PacketBytes packet) {
     ++stats_.queue_dropped;  // finite buffer: tail drop
     return;
   }
-  const SimTime arrive = start + tx_time + link->params.latency;
+  const SimTime arrive = start + tx_time + link->params.latency + extra_delay;
   link->busy_until = start + tx_time;
 
   const NodeId to_node = link->peer_node;
   const FaceId to_face = link->peer_face;
-  const NodeId from_node = from.id();
-  loop_.schedule_at(arrive, [this, from_node, to_node, to_face,
+  const bool was_corrupted = corrupt_bytes != 0;
+
+  if (duplicate) {
+    // The copy rides back to back behind the original: it occupies the link
+    // for another tx_time and skips the queue check the original passed.
+    ++stats_.duplicated;
+    const SimTime dup_arrive = arrive + tx_time;
+    link->busy_until += tx_time;
+    loop_.schedule_at(dup_arrive, [this, from_node, to_node, to_face, was_corrupted,
+                                   packet]() mutable {
+      ++stats_.delivered;
+      if (was_corrupted) ++stats_.corrupted;
+      if (tap_) tap_(from_node, to_node, to_face, packet, loop_.now());
+      nodes_[to_node]->on_packet(to_face, std::move(packet), loop_.now());
+    });
+  }
+  loop_.schedule_at(arrive, [this, from_node, to_node, to_face, was_corrupted,
                              packet = std::move(packet)]() mutable {
     ++stats_.delivered;
+    if (was_corrupted) ++stats_.corrupted;
     if (tap_) tap_(from_node, to_node, to_face, packet, loop_.now());
     nodes_[to_node]->on_packet(to_face, std::move(packet), loop_.now());
   });
+}
+
+void Network::write_stats(telemetry::StatsWriter& w) const {
+  w.counter("dip_net_transmitted_total", {}, stats_.transmitted);
+  w.counter("dip_net_delivered_total", {}, stats_.delivered);
+  w.counter("dip_net_lost_total", {}, stats_.lost);
+  w.counter("dip_net_queue_dropped_total", {}, stats_.queue_dropped);
+  w.counter("dip_net_dead_faced_total", {}, stats_.dead_faced);
+  w.counter("dip_net_bytes_total", {}, stats_.bytes);
+  w.counter("dip_net_duplicated_total", {}, stats_.duplicated);
+  w.counter("dip_net_corrupted_total", {}, stats_.corrupted);
+  w.counter("dip_net_blackholed_total", {}, stats_.blackholed);
+  w.counter("dip_net_fault_events_total", {}, fault_events_);
+  for (std::size_t k = 0; k < faults_by_kind_.size(); ++k) {
+    if (faults_by_kind_[k] == 0) continue;
+    const telemetry::Label labels[] = {
+        {"kind", to_string(static_cast<FaultKind>(k))}};
+    w.counter("dip_net_faults_total", labels, faults_by_kind_[k]);
+  }
+}
+
+void Network::register_stats(telemetry::StatsRegistry& registry) const {
+  registry.add("network", [this](telemetry::StatsWriter& w) { write_stats(w); });
 }
 
 }  // namespace dip::netsim

@@ -54,6 +54,7 @@ struct CounterSnapshot {
   std::uint64_t forwarded = 0;
   std::uint64_t dropped = 0;
   std::uint64_t errors = 0;
+  std::uint64_t quarantined = 0;  ///< lenient-mode corrupt-FN-list drops
   std::uint64_t fn_executed = 0;
   std::uint64_t fn_skipped_host = 0;
   std::uint64_t fn_skipped_optional = 0;
@@ -69,6 +70,7 @@ struct CounterSnapshot {
     forwarded += o.forwarded;
     dropped += o.dropped;
     errors += o.errors;
+    quarantined += o.quarantined;
     fn_executed += o.fn_executed;
     fn_skipped_host += o.fn_skipped_host;
     fn_skipped_optional += o.fn_skipped_optional;
@@ -95,6 +97,7 @@ struct RouterCounters {
   RelaxedCounter forwarded;
   RelaxedCounter dropped;
   RelaxedCounter errors;
+  RelaxedCounter quarantined;  ///< lenient-mode corrupt-FN-list drops
   RelaxedCounter fn_executed;
   RelaxedCounter fn_skipped_host;
   RelaxedCounter fn_skipped_optional;
@@ -112,6 +115,7 @@ struct RouterCounters {
     s.forwarded = forwarded;
     s.dropped = dropped;
     s.errors = errors;
+    s.quarantined = quarantined;
     s.fn_executed = fn_executed;
     s.fn_skipped_host = fn_skipped_host;
     s.fn_skipped_optional = fn_skipped_optional;

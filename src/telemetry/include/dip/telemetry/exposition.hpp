@@ -106,6 +106,7 @@ inline void write_counter_snapshot(StatsWriter& w, const CounterSnapshot& s,
   w.counter("dip_packets_forwarded_total", base, s.forwarded);
   w.counter("dip_packets_dropped_total", base, s.dropped);
   w.counter("dip_packet_errors_total", base, s.errors);
+  w.counter("dip_packets_quarantined_total", base, s.quarantined);
   w.counter("dip_batches_total", base, s.batches);
   w.counter("dip_fn_executed_total", base, s.fn_executed);
   w.counter("dip_fn_skipped_host_total", base, s.fn_skipped_host);

@@ -210,6 +210,154 @@ TEST(Fuzz, TunnelAndBorderSurviveMutations) {
   SUCCEED();
 }
 
+// ---------- structured FN-grammar fuzzing ----------
+//
+// Instead of flipping bits in valid packets, build wire images straight
+// from the FN-triple grammar with adversarial coordinates: out-of-range
+// field_loc/field_len, zero lengths, host tags on broken ranges, unknown
+// keys, and locations blocks shorter than declared. The checksum is always
+// valid so every packet reaches structural validation, not the parse wall.
+
+/// Raw wire image: valid basic header (correct checksum), then `fns`, then
+/// `actual_loc_bytes` of locations — which may disagree with the declared
+/// `loc_len` to model truncation in flight.
+std::vector<std::uint8_t> craft_wire(std::span<const core::FnTriple> fns,
+                                     std::uint16_t declared_loc_len,
+                                     std::size_t actual_loc_bytes) {
+  std::vector<std::uint8_t> p;
+  p.push_back(0);                                        // next_header
+  p.push_back(static_cast<std::uint8_t>(fns.size()));    // fn_num
+  p.push_back(64);                                       // hop_limit
+  const auto param = static_cast<std::uint16_t>((declared_loc_len & 0x03FF) << 1);
+  p.push_back(static_cast<std::uint8_t>(param >> 8));
+  p.push_back(static_cast<std::uint8_t>(param & 0xFF));
+  p.push_back(core::basic_header_checksum(p));
+  for (const core::FnTriple& fn : fns) {
+    for (const std::uint16_t v : {fn.field_loc, fn.field_len, fn.op}) {
+      p.push_back(static_cast<std::uint8_t>(v >> 8));
+      p.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    }
+  }
+  for (std::size_t i = 0; i < actual_loc_bytes; ++i) {
+    p.push_back(static_cast<std::uint8_t>(0xA5 ^ i));
+  }
+  return p;
+}
+
+TEST(Fuzz, OutOfRangeTriplesDropStrictAndQuarantineLenient) {
+  // Every triple here addresses bits outside an 8-byte locations block (or
+  // is zero-length, which the wire grammar forbids). Strict mode must drop
+  // each as malformed; lenient mode must quarantine each, once.
+  const core::FnTriple adversarial[] = {
+      core::FnTriple::router(0, 65, core::OpKey::kFib),       // 1 bit past end
+      core::FnTriple::router(64, 1, core::OpKey::kFib),       // starts past end
+      core::FnTriple::router(0xFFFF, 0xFFFF, core::OpKey::kFib),
+      core::FnTriple::router(0xFFF8, 8, core::OpKey::kPit),
+      core::FnTriple::router(0, 0, core::OpKey::kFib),        // zero length
+      core::FnTriple::host(0xFFFF, 0xFFFF, core::OpKey::kMac),  // host tag too
+      {32, 64, 0x7FFF},                                       // unknown key
+  };
+
+  FuzzRouter strict;
+  FuzzRouter lenient;
+  lenient.router->set_validation(core::ValidationMode::kLenient);
+
+  std::uint64_t expected_quarantined = 0;
+  for (const core::FnTriple& fn : adversarial) {
+    const auto packet = craft_wire({&fn, 1}, 8, 8);
+    ASSERT_FALSE(core::DipHeader::parse(packet).has_value());
+
+    auto for_strict = packet;
+    const auto s = strict.router->process(for_strict, 0, 0);
+    EXPECT_EQ(s.action, core::Action::kDrop);
+    EXPECT_EQ(s.reason, core::DropReason::kMalformed);
+
+    auto for_lenient = packet;
+    const auto l = lenient.router->process(for_lenient, 0, 0);
+    EXPECT_EQ(l.action, core::Action::kDrop);
+    EXPECT_EQ(l.reason, core::DropReason::kCorruptQuarantine);
+    ++expected_quarantined;
+    EXPECT_EQ(lenient.router->env().counters.quarantined.load(), expected_quarantined);
+  }
+  EXPECT_EQ(strict.router->env().counters.quarantined.load(), 0u);
+}
+
+TEST(Fuzz, TruncatedLocationsBlocksNeverCrashEitherMode) {
+  // Declared loc_len of 8 bytes, delivered 0..7: the packet ends before the
+  // locations block does (truncation in flight).
+  const core::FnTriple fn = core::FnTriple::router(0, 32, core::OpKey::kFib);
+  FuzzRouter strict;
+  FuzzRouter lenient;
+  lenient.router->set_validation(core::ValidationMode::kLenient);
+
+  for (std::size_t actual = 0; actual < 8; ++actual) {
+    auto packet = craft_wire({&fn, 1}, 8, actual);
+    ASSERT_FALSE(core::HeaderView::bind(packet).has_value());
+    auto for_strict = packet;
+    EXPECT_EQ(strict.router->process(for_strict, 0, 0).reason,
+              core::DropReason::kMalformed);
+    auto for_lenient = packet;
+    EXPECT_EQ(lenient.router->process(for_lenient, 0, 0).reason,
+              core::DropReason::kCorruptQuarantine);
+  }
+}
+
+TEST(Fuzz, SeededGrammarStrictAndLenientVerdictsStayCoherent) {
+  // Seeded grammar fuzzer: random triples (boundary-biased coordinates,
+  // host tags, unknown keys), random declared/actual locations sizes, and
+  // a random payload tail. Invariant: when the header does not bind, strict
+  // says kMalformed and lenient says kCorruptQuarantine; when it binds,
+  // both modes return the exact same verdict.
+  FuzzRouter strict;
+  FuzzRouter lenient;
+  lenient.router->set_validation(core::ValidationMode::kLenient);
+  crypto::Xoshiro256 rng(11);
+
+  auto coordinate = [&rng]() -> std::uint16_t {
+    switch (rng.below(4)) {
+      case 0: return static_cast<std::uint16_t>(rng.below(64));       // small
+      case 1: return static_cast<std::uint16_t>(rng.below(1024) * 8); // aligned
+      case 2: return static_cast<std::uint16_t>(0xFFF0 + rng.below(16));
+      default: return static_cast<std::uint16_t>(rng.next());
+    }
+  };
+
+  std::uint64_t bind_failures = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<core::FnTriple> fns(rng.below(7));
+    for (core::FnTriple& fn : fns) {
+      fn.field_loc = coordinate();
+      fn.field_len = coordinate();
+      fn.op = static_cast<std::uint16_t>(rng.next());  // any key, any tag
+    }
+    const auto declared = static_cast<std::uint16_t>(rng.below(1024));
+    const std::size_t actual = rng.below(declared + 17);  // short, exact, or long
+    auto packet = craft_wire(fns, declared, actual);
+    for (std::size_t k = rng.below(32); k > 0; --k) {  // payload tail
+      packet.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+
+    auto bind_probe = packet;
+    const bool binds = core::HeaderView::bind(bind_probe).has_value();
+    auto for_strict = packet;
+    const auto s = strict.router->process(for_strict, 0, i);
+    auto for_lenient = packet;
+    const auto l = lenient.router->process(for_lenient, 0, i);
+
+    if (!binds) {
+      ++bind_failures;
+      ASSERT_EQ(s.reason, core::DropReason::kMalformed) << "iteration " << i;
+      ASSERT_EQ(l.reason, core::DropReason::kCorruptQuarantine) << "iteration " << i;
+    } else {
+      ASSERT_EQ(s.action, l.action) << "iteration " << i;
+      ASSERT_EQ(s.reason, l.reason) << "iteration " << i;
+      ASSERT_EQ(s.egress, l.egress) << "iteration " << i;
+    }
+  }
+  EXPECT_GT(bind_failures, 0u);
+  EXPECT_EQ(lenient.router->env().counters.quarantined.load(), bind_failures);
+}
+
 // ---------- structured random headers round-trip ----------
 
 TEST(Fuzz, RandomBuiltHeadersRoundTrip) {

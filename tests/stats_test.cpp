@@ -225,6 +225,7 @@ TEST(Exposition, CounterSnapshotGolden) {
   s.flow_cache_misses = 2;
   s.fn_by_key[1] = 16;  // kMatch32
   s.fn_by_key[4] = 4;   // kFib
+  s.quarantined = 1;
   StatsWriter w;
   write_counter_snapshot(w, s, {}, nullptr);
   EXPECT_EQ(w.text(),
@@ -232,6 +233,7 @@ TEST(Exposition, CounterSnapshotGolden) {
             "dip_packets_forwarded_total 8\n"
             "dip_packets_dropped_total 2\n"
             "dip_packet_errors_total 0\n"
+            "dip_packets_quarantined_total 1\n"
             "dip_batches_total 3\n"
             "dip_fn_executed_total 20\n"
             "dip_fn_skipped_host_total 0\n"
