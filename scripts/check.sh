@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Full verification pipeline: release build + tests + benches, then an
 # ASan/UBSan build + tests. This is what CI should run.
+#
+#   --fast   docs check + release build + the unit/property test tiers only
+#            (see docs/TESTING.md): the inner-loop lane, no benches, no
+#            sanitizer rebuilds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
 
 echo "== docs link check =="
 # Markdown link targets (relative ones must exist) and backtick-quoted
@@ -38,6 +45,13 @@ echo "== release build =="
 cmake -B build -G Ninja >/dev/null
 cmake --build build
 
+if [ "$FAST" -eq 1 ]; then
+  echo "== tests (--fast: unit + property tiers) =="
+  ctest --test-dir build -L "unit|property" --output-on-failure
+  echo "FAST CHECKS PASSED"
+  exit 0
+fi
+
 echo "== tests =="
 ctest --test-dir build --output-on-failure
 
@@ -67,10 +81,12 @@ ctest --test-dir build-san --output-on-failure
 echo "== TSan build (RouterPool / SpscRing concurrency + chaos harness) =="
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
   >/dev/null
-cmake --build build-tsan --target pipeline_test stats_test chaos_test differential_test
+cmake --build build-tsan --target pipeline_test stats_test chaos_test \
+  differential_test conformance_test
 
-echo "== pipeline + stats + chaos + differential tests under TSan =="
-ctest --test-dir build-tsan -R "pipeline_test|stats_test|chaos_test|differential_test" \
+echo "== pipeline + stats + chaos + differential + conformance tests under TSan =="
+ctest --test-dir build-tsan \
+  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test" \
   --output-on-failure
 
 echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="

@@ -1,0 +1,862 @@
+#include "dip/refmodel/refmodel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dip/bytes/bitfield.hpp"
+
+namespace dip::refmodel {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec constants, restated from the paper / DESIGN.md (not included from
+// core — redeclaring them here is the point of an independent model).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kBasicHeaderBytes = 6;
+constexpr std::size_t kFnTripleBytes = 6;
+constexpr std::uint8_t kMaxWireFns = 16;  // HeaderView::kMaxFns in production
+
+// Op keys (Table 1 + extensions).
+constexpr std::uint16_t kMatch32 = 1;
+constexpr std::uint16_t kMatch128 = 2;
+constexpr std::uint16_t kSource = 3;
+constexpr std::uint16_t kFib = 4;
+constexpr std::uint16_t kPit = 5;
+constexpr std::uint16_t kParm = 6;
+constexpr std::uint16_t kMac = 7;
+constexpr std::uint16_t kMark = 8;
+constexpr std::uint16_t kVer = 9;
+constexpr std::uint16_t kDag = 10;
+constexpr std::uint16_t kIntent = 11;
+constexpr std::uint16_t kPass = 12;
+constexpr std::uint16_t kTelemetry = 13;
+constexpr std::uint16_t kCc = 14;
+constexpr std::uint16_t kDps = 15;
+constexpr std::uint16_t kHvf = 16;
+
+[[nodiscard]] bool known_key(std::uint16_t key) { return key >= 1 && key <= 16; }
+
+/// §2.4 heterogeneous configuration: path-critical FNs error back to the
+/// source when a node cannot honor them; others are silently skipped.
+[[nodiscard]] bool requires_full_path(std::uint16_t key) {
+  return key == kParm || key == kMac || key == kMark || key == kVer || key == kHvf;
+}
+
+/// §2.2 modular parallelism: only FNs with no cross-FN coupling commute.
+[[nodiscard]] bool order_independent(std::uint16_t key) {
+  return key == kMatch32 || key == kMatch128 || key == kSource || key == kTelemetry;
+}
+
+/// Abstract per-invocation cost units charged against the packet budget
+/// (§2.4); must equal what each production module's cost() declares.
+[[nodiscard]] std::uint32_t cost_of(std::uint16_t key) {
+  switch (key) {
+    case kMatch32: return 2;
+    case kMatch128: return 3;
+    case kSource: return 1;
+    case kFib: return 2;
+    case kPit: return 2;
+    case kParm: return 2;
+    case kMac: return 8;
+    case kMark: return 2;
+    case kDag: return 4;
+    case kIntent: return 2;
+    case kPass: return 6;
+    case kTelemetry: return 2;
+    case kDps: return 3;
+    case kHvf: return 5;
+    default: return 1;
+  }
+}
+
+[[nodiscard]] std::uint8_t header_checksum(std::span<const std::uint8_t> first5) {
+  std::uint8_t x = 0xDB;  // domain separator (all-zero headers must not verify)
+  for (std::size_t i = 0; i < 5 && i < first5.size(); ++i) x ^= first5[i];
+  return x;
+}
+
+// -- OPT block layout (§3 / DESIGN.md §5) -----------------------------------
+constexpr std::size_t kOptPvfToOpv = 16;  // OPV sits 16 bytes after the PVF
+
+// -- EPIC block layout (§1 example / src/epic docs) -------------------------
+constexpr std::size_t kEpicSessionOffset = 16;
+constexpr std::size_t kEpicHopIndexOffset = 36;
+constexpr std::size_t kEpicHopCountOffset = 37;
+constexpr std::size_t kEpicFixedBytes = 40;
+constexpr std::size_t kEpicHvfBytes = 4;
+constexpr std::size_t kEpicMaxHops = 8;
+constexpr std::uint8_t kEpicTagValidate = 0x00;
+constexpr std::uint8_t kEpicTagProof = 0x50;
+
+/// trunc4(MAC_{key}(DataHash|SessionID|Timestamp|hop|flavor)).
+std::array<std::uint8_t, kEpicHvfBytes> epic_hop_tag(const crypto::Block& key,
+                                                     std::span<const std::uint8_t> block,
+                                                     std::uint8_t hop,
+                                                     std::uint8_t flavor,
+                                                     crypto::MacKind kind) {
+  std::array<std::uint8_t, 38> input{};
+  std::memcpy(input.data(), block.data(), 36);
+  input[36] = hop;
+  input[37] = flavor;
+  const crypto::Block mac = crypto::make_mac(kind, key)->compute(input);
+  std::array<std::uint8_t, kEpicHvfBytes> out{};
+  std::memcpy(out.data(), mac.data(), kEpicHvfBytes);
+  return out;
+}
+
+// -- XIA DAG wire format (src/xia docs §) -----------------------------------
+constexpr std::size_t kDagHeaderBytes = 8;
+constexpr std::size_t kDagNodeBytes = 26;  // type:1 xid:20 degree:1 edges:4
+constexpr std::size_t kDagMaxNodes = 8;
+constexpr std::size_t kDagMaxEdges = 4;
+constexpr std::uint8_t kDagSourceCursor = 0xfe;
+constexpr std::uint8_t kXidAd = 0x10;
+constexpr std::uint8_t kXidCid = 0x13;
+
+struct RefDagNode {
+  std::uint8_t type = 0;
+  std::array<std::uint8_t, 20> xid{};
+  std::vector<std::uint8_t> edges;
+};
+
+struct RefDag {
+  std::uint8_t cursor = kDagSourceCursor;
+  std::uint8_t intent = 0;
+  std::vector<std::uint8_t> source_edges;
+  std::vector<RefDagNode> nodes;
+
+  [[nodiscard]] std::span<const std::uint8_t> edges_of(std::uint8_t at) const {
+    if (at == kDagSourceCursor) return source_edges;
+    if (at >= nodes.size()) return {};
+    return nodes[at].edges;
+  }
+};
+
+/// Parse + validate a DAG exactly as the spec demands: bounded counts,
+/// valid XID types, in-range edges, acyclic (DFS), sane cursor.
+std::optional<RefDag> parse_ref_dag(std::span<const std::uint8_t> data) {
+  if (data.size() < kDagHeaderBytes) return std::nullopt;
+  RefDag dag;
+  const std::uint8_t node_count = data[0];
+  dag.cursor = data[1];
+  dag.intent = data[2];
+  const std::uint8_t src_degree = data[3];
+  if (node_count > kDagMaxNodes || src_degree > kDagMaxEdges) return std::nullopt;
+  if (data.size() < kDagHeaderBytes + node_count * kDagNodeBytes) return std::nullopt;
+  for (std::uint8_t i = 0; i < src_degree; ++i) dag.source_edges.push_back(data[4 + i]);
+
+  std::size_t off = kDagHeaderBytes;
+  for (std::uint8_t n = 0; n < node_count; ++n) {
+    RefDagNode node;
+    node.type = data[off];
+    if (node.type < kXidAd || node.type > kXidCid) return std::nullopt;
+    std::memcpy(node.xid.data(), data.data() + off + 1, 20);
+    const std::uint8_t degree = data[off + 21];
+    if (degree > kDagMaxEdges) return std::nullopt;
+    for (std::uint8_t i = 0; i < degree; ++i) node.edges.push_back(data[off + 22 + i]);
+    dag.nodes.push_back(std::move(node));
+    off += kDagNodeBytes;
+  }
+
+  if (dag.intent >= dag.nodes.size()) return std::nullopt;
+  for (std::uint8_t e : dag.source_edges) {
+    if (e >= dag.nodes.size()) return std::nullopt;
+  }
+  for (const RefDagNode& n : dag.nodes) {
+    for (std::uint8_t e : n.edges) {
+      if (e >= dag.nodes.size()) return std::nullopt;
+    }
+  }
+
+  // Acyclicity via 3-color DFS over node edges.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(dag.nodes.size(), Color::kWhite);
+  struct Frame {
+    std::uint8_t node;
+    std::size_t edge = 0;
+  };
+  for (std::uint8_t start = 0; start < dag.nodes.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack{{start, 0}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& edges = dag.nodes[f.node].edges;
+      if (f.edge < edges.size()) {
+        const std::uint8_t next = edges[f.edge++];
+        if (color[next] == Color::kGray) return std::nullopt;  // cycle
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[f.node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  if (dag.cursor != kDagSourceCursor && dag.cursor >= dag.nodes.size()) {
+    return std::nullopt;
+  }
+  return dag;
+}
+
+[[nodiscard]] std::uint64_t ref_xid_code(const std::array<std::uint8_t, 20>& xid) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | xid[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table setup
+// ---------------------------------------------------------------------------
+
+void RefNode::add_route32(std::uint32_t addr, std::uint8_t prefix_len, std::uint32_t nh) {
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  const std::uint32_t canonical = addr & mask;
+  for (Route32& r : fib32_) {
+    if (r.addr == canonical && r.len == prefix_len) {
+      r.nh = nh;
+      return;
+    }
+  }
+  fib32_.push_back({canonical, prefix_len, nh});
+}
+
+void RefNode::add_route128(const std::array<std::uint8_t, 16>& addr,
+                           std::uint8_t prefix_len, std::uint32_t nh) {
+  std::array<std::uint8_t, 16> canonical{};
+  for (std::size_t bit = 0; bit < prefix_len; ++bit) {
+    const std::uint8_t b = addr[bit / 8] & static_cast<std::uint8_t>(0x80 >> (bit % 8));
+    canonical[bit / 8] |= b;
+  }
+  for (Route128& r : fib128_) {
+    if (r.addr == canonical && r.len == prefix_len) {
+      r.nh = nh;
+      return;
+    }
+  }
+  fib128_.push_back({canonical, prefix_len, nh});
+}
+
+void RefNode::add_xid_route(std::uint8_t type, const std::array<std::uint8_t, 20>& xid,
+                            std::uint32_t nh) {
+  xid_routes_[{type, xid}] = nh;
+}
+
+void RefNode::set_xid_local(std::uint8_t type, const std::array<std::uint8_t, 20>& xid) {
+  xid_local_.insert({type, xid});
+}
+
+void RefNode::store_content(std::uint64_t name_code,
+                            std::span<const std::uint8_t> payload) {
+  cs_insert(name_code, payload);
+}
+
+std::optional<std::uint32_t> RefNode::lookup32(std::uint32_t addr) const {
+  std::optional<std::uint32_t> best;
+  int best_len = -1;
+  for (const Route32& r : fib32_) {
+    const std::uint32_t mask = r.len == 0 ? 0 : ~std::uint32_t{0} << (32 - r.len);
+    if ((addr & mask) == r.addr && r.len > best_len) {
+      best = r.nh;
+      best_len = r.len;
+    }
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> RefNode::lookup128(
+    const std::array<std::uint8_t, 16>& addr) const {
+  std::optional<std::uint32_t> best;
+  int best_len = -1;
+  for (const Route128& r : fib128_) {
+    bool match = true;
+    for (std::size_t bit = 0; bit < r.len && match; ++bit) {
+      const auto mask = static_cast<std::uint8_t>(0x80 >> (bit % 8));
+      match = (addr[bit / 8] & mask) == (r.addr[bit / 8] & mask);
+    }
+    if (match && r.len > best_len) {
+      best = r.nh;
+      best_len = r.len;
+    }
+  }
+  return best;
+}
+
+void RefNode::pit_expire(SimTime now) {
+  for (auto it = pit_.begin(); it != pit_.end();) {
+    if (it->second.expiry <= now) {
+      it = pit_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool RefNode::cs_contains(std::uint64_t code) const {
+  for (const auto& [key, payload] : cs_lru_) {
+    if (key == code) return true;
+  }
+  return false;
+}
+
+void RefNode::cs_insert(std::uint64_t code, std::span<const std::uint8_t> payload) {
+  if (cfg_.content_store_capacity == 0) return;  // caching disabled
+  for (auto it = cs_lru_.begin(); it != cs_lru_.end(); ++it) {
+    if (it->first == code) {
+      it->second.assign(payload.begin(), payload.end());
+      cs_lru_.splice(cs_lru_.begin(), cs_lru_, it);  // refresh recency
+      return;
+    }
+  }
+  if (cs_lru_.size() >= cfg_.content_store_capacity) cs_lru_.pop_back();  // evict LRU
+  cs_lru_.emplace_front(code, std::vector<std::uint8_t>(payload.begin(), payload.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Wire parsing
+// ---------------------------------------------------------------------------
+
+std::optional<RefNode::RefHeader> RefNode::bind(std::span<std::uint8_t> packet) {
+  if (packet.size() < kBasicHeaderBytes) return std::nullopt;
+  if (packet[5] != header_checksum(packet.subspan(0, 5))) return std::nullopt;
+
+  RefHeader h;
+  h.raw = packet;
+  h.next_header = packet[0];
+  h.fn_num = packet[1];
+  h.hop_limit = packet[2];
+  const auto param = static_cast<std::uint16_t>((packet[3] << 8) | packet[4]);
+  h.parallel = (param & 0x0001u) != 0;
+  h.loc_len = static_cast<std::uint16_t>((param >> 1) & 0x03ffu);
+
+  if (h.fn_num > kMaxWireFns) return std::nullopt;
+  const std::size_t fns_bytes = h.fn_num * kFnTripleBytes;
+  const std::size_t header_size = kBasicHeaderBytes + fns_bytes + h.loc_len;
+  if (packet.size() < header_size) return std::nullopt;
+
+  for (std::size_t i = 0; i < h.fn_num; ++i) {
+    const std::size_t off = kBasicHeaderBytes + i * kFnTripleBytes;
+    RefFn fn;
+    fn.loc = static_cast<std::uint16_t>((packet[off] << 8) | packet[off + 1]);
+    fn.len = static_cast<std::uint16_t>((packet[off + 2] << 8) | packet[off + 3]);
+    fn.op = static_cast<std::uint16_t>((packet[off + 4] << 8) | packet[off + 5]);
+    // Every FN must address a non-empty bit range inside the locations block.
+    if (!bytes::fits({fn.loc, fn.len}, h.loc_len)) return std::nullopt;
+    h.fns.push_back(fn);
+  }
+  h.locations = packet.subspan(kBasicHeaderBytes + fns_bytes, h.loc_len);
+  h.payload = packet.subspan(header_size);
+  return h;
+}
+
+std::span<std::uint8_t> RefNode::field_bytes(const RefFn& fn, RefHeader& h) {
+  if (fn.loc % 8 != 0 || fn.len % 8 != 0) return {};  // not byte-aligned
+  return h.locations.subspan(fn.loc / 8, fn.len / 8);
+}
+
+std::optional<std::uint64_t> RefNode::field_uint(const RefFn& fn, const RefHeader& h) {
+  const auto v = bytes::extract_uint(h.locations, {fn.loc, fn.len});
+  if (!v) return std::nullopt;
+  return *v;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1
+// ---------------------------------------------------------------------------
+
+RefVerdict RefNode::process(std::span<std::uint8_t> packet, std::uint32_t ingress,
+                            SimTime now) {
+  RefVerdict v;
+  auto h = bind(packet);
+  if (!h) {
+    // Byte damage. Strict mode treats it as a protocol violation; lenient
+    // mode quarantines it for offline inspection.
+    if (cfg_.lenient) {
+      ++quarantined_;
+      v.drop(RefDrop::kCorruptQuarantine);
+    } else {
+      v.drop(RefDrop::kMalformed);
+    }
+    ledger_.note(v);
+    return v;
+  }
+
+  // §2.4 hard per-packet FN-count limit.
+  if (h->fns.size() > cfg_.max_fn_per_packet) {
+    v.drop(RefDrop::kBudgetExhausted);
+    ledger_.note(v);
+    return v;
+  }
+
+  // Hop limit: a packet arriving with 0 was never forwardable (no rewrite);
+  // one arriving with 1 is decremented on the wire *then* dropped.
+  if (h->hop_limit == 0) {
+    v.drop(RefDrop::kHopLimitExceeded);
+    ledger_.note(v);
+    return v;
+  }
+  --h->hop_limit;
+  packet[2] = h->hop_limit;
+  packet[5] = header_checksum(packet.subspan(0, 5));
+  const std::uint8_t live_floor = cfg_.mutation == Mutation::kHopOffByOne ? 1 : 0;
+  if (h->hop_limit <= live_floor) {
+    v.drop(RefDrop::kHopLimitExceeded);
+    ledger_.note(v);
+    return v;
+  }
+
+  dispatch(*h, ingress, now, v);
+
+  // No match FN decided an egress: default port, else drop.
+  if (v.action == RefAction::kForward && v.egress.empty()) {
+    if (cfg_.default_egress) {
+      v.egress.push_back(*cfg_.default_egress);
+    } else {
+      v.drop(RefDrop::kNoRoute);
+    }
+  }
+  ledger_.note(v);
+  return v;
+}
+
+bool RefNode::relax_eligible(const RefHeader& h) const {
+  for (std::size_t i = 0; i < h.fns.size(); ++i) {
+    if (h.fns[i].host_tagged()) continue;  // routers skip these in any order
+    const std::uint16_t key = h.fns[i].key();
+    if (!known_key(key) || !order_independent(key)) return false;
+    const std::uint32_t a_lo = h.fns[i].loc;
+    const std::uint32_t a_hi = a_lo + h.fns[i].len;
+    for (std::size_t j = i + 1; j < h.fns.size(); ++j) {
+      if (h.fns[j].host_tagged()) continue;
+      const std::uint32_t b_lo = h.fns[j].loc;
+      const std::uint32_t b_hi = b_lo + h.fns[j].len;
+      if (a_lo < b_hi && b_lo < a_hi) return false;  // overlapping fields
+    }
+  }
+  return true;
+}
+
+void RefNode::dispatch(RefHeader& h, std::uint32_t ingress, SimTime now, RefVerdict& v) {
+  std::uint32_t budget = cfg_.per_packet_budget;
+  Scratch scratch;
+  if (h.parallel && relax_eligible(h)) {
+    // §2.2: the sender asserted independence and the router verified it —
+    // any schedule is legal. Run back to front (the observably different
+    // schedule the production batch path uses).
+    for (std::size_t i = h.fns.size(); i-- > 0;) {
+      if (!run_fn(h.fns[i], h, ingress, now, budget, scratch, v)) return;
+    }
+    return;
+  }
+  for (const RefFn& fn : h.fns) {
+    if (!run_fn(fn, h, ingress, now, budget, scratch, v)) return;
+  }
+}
+
+bool RefNode::run_fn(const RefFn& fn, RefHeader& h, std::uint32_t ingress, SimTime now,
+                     std::uint32_t& budget, Scratch& scratch, RefVerdict& v) {
+  // Algorithm 1 line 5: host-tagged operations are skipped by routers.
+  if (fn.host_tagged()) {
+    ledger_.op_keys_seen.insert(fn.key());
+    return true;
+  }
+  const std::uint16_t key = fn.key();
+  ledger_.op_keys_seen.insert(key);
+
+  const bool modeled =
+      key == kMatch32 || key == kMatch128 || key == kSource || key == kFib ||
+      key == kPit || key == kParm || key == kMac || key == kMark || key == kDag ||
+      key == kIntent || key == kPass || key == kTelemetry || key == kHvf ||
+      (key == kDps && cfg_.dps_enabled);
+  if (!modeled) {
+    // §2.4: unsupported path-critical FN -> error back to the source;
+    // anything else is skipped.
+    if (known_key(key) && requires_full_path(key)) {
+      v.action = RefAction::kError;
+      v.reason = RefDrop::kUnsupportedFn;
+      v.offending_key = key;
+      v.egress.clear();
+      return false;
+    }
+    return true;
+  }
+
+  // §2.4 per-packet processing budget, charged before execution.
+  const std::uint32_t cost = cost_of(key);
+  if (cost > budget) {
+    v.drop(RefDrop::kBudgetExhausted);
+    return false;
+  }
+  budget -= cost;
+
+  ledger_.op_keys_executed.insert(key);
+  bool status_ok = true;
+  switch (key) {
+    case kMatch32: status_ok = op_match32(fn, h, v); break;
+    case kMatch128: status_ok = op_match128(fn, h, v); break;
+    case kSource: break;  // F_source carries data; routers do nothing
+    case kFib: status_ok = op_fib(fn, h, ingress, now, v); break;
+    case kPit: status_ok = op_pit(fn, h, now, v); break;
+    case kParm: status_ok = op_parm(fn, h, scratch); break;
+    case kMac: status_ok = op_mac(fn, h, scratch); break;
+    case kMark: status_ok = op_mark(fn, h, scratch); break;
+    case kDag: status_ok = op_dag(fn, h, v); break;
+    case kIntent: status_ok = op_intent(fn, h, ingress, v); break;
+    case kPass: status_ok = op_pass(fn, h, v); break;
+    case kTelemetry: status_ok = op_telemetry(fn, h, ingress, now); break;
+    case kDps: status_ok = op_dps(fn, h, now, v); break;
+    case kHvf: status_ok = op_hvf(fn, h, v); break;
+    default: break;
+  }
+  if (!status_ok) {
+    // A status error means the composition itself is broken (bad field
+    // length, missing F_parm, non-aligned slice...): malformed.
+    v.drop(RefDrop::kMalformed);
+    return false;
+  }
+  return v.action == RefAction::kForward;
+}
+
+// ---------------------------------------------------------------------------
+// Op modules
+// ---------------------------------------------------------------------------
+
+bool RefNode::op_match32(const RefFn& fn, RefHeader& h, RefVerdict& v) {
+  if (fn.len != 32) return false;
+  const auto value = field_uint(fn, h);
+  if (!value) return false;
+  const auto nh = lookup32(static_cast<std::uint32_t>(*value));
+  if (!nh) {
+    v.drop(cfg_.mutation == Mutation::kWrongNoRouteReason ? RefDrop::kMalformed
+                                                          : RefDrop::kNoRoute);
+    return true;
+  }
+  v.egress.assign(1, *nh);
+  return true;
+}
+
+bool RefNode::op_match128(const RefFn& fn, RefHeader& h, RefVerdict& v) {
+  if (fn.len != 128) return false;
+  std::array<std::uint8_t, 16> addr{};
+  if (const auto aligned = field_bytes(fn, h); !aligned.empty()) {
+    std::copy(aligned.begin(), aligned.end(), addr.begin());
+  } else if (!bytes::extract_bits(h.locations, {fn.loc, fn.len}, addr)) {
+    return false;
+  }
+  const auto nh = lookup128(addr);
+  if (!nh) {
+    v.drop(RefDrop::kNoRoute);
+    return true;
+  }
+  v.egress.assign(1, *nh);
+  return true;
+}
+
+bool RefNode::op_fib(const RefFn& fn, RefHeader& h, std::uint32_t ingress, SimTime now,
+                     RefVerdict& v) {
+  if (fn.len != 32) return false;
+  const auto code = field_uint(fn, h);
+  if (!code) return false;
+  const auto name_code = static_cast<std::uint32_t>(*code);
+
+  // Footnote 2: match the local content store before the FIB. A cache hit
+  // answers the interest outright — no PIT state is created.
+  if (cs_contains(name_code)) {
+    v.respond_from_cache = true;
+    v.egress.assign(1, ingress);
+    return true;
+  }
+
+  // Record the receiving face in the PIT (§3).
+  auto it = pit_.find(name_code);
+  if (it != pit_.end() && it->second.expiry <= now) {
+    pit_.erase(it);  // stale entry: treat as absent
+    it = pit_.end();
+  }
+  if (it == pit_.end()) {
+    if (pit_.size() >= cfg_.pit_max_entries) {
+      pit_expire(now);
+      if (pit_.size() >= cfg_.pit_max_entries) {
+        v.drop(RefDrop::kBudgetExhausted);  // PIT full (§2.4 state limit)
+        return true;
+      }
+    }
+    pit_[name_code] = PitEntry{{ingress}, now + cfg_.pit_lifetime};
+  } else if (std::find(it->second.faces.begin(), it->second.faces.end(), ingress) !=
+             it->second.faces.end()) {
+    v.drop(RefDrop::kDuplicate);  // same interest, same face: likely a loop
+    return true;
+  } else {
+    it->second.faces.push_back(ingress);
+    it->second.expiry = now + cfg_.pit_lifetime;
+    v.drop(RefDrop::kAggregated);  // suppressed; face recorded for fan-out
+    return true;
+  }
+
+  const auto nh = lookup32(name_code);
+  if (!nh) {
+    v.drop(RefDrop::kNoRoute);
+    return true;
+  }
+  v.egress.assign(1, *nh);
+  return true;
+}
+
+bool RefNode::op_pit(const RefFn& fn, RefHeader& h, SimTime now, RefVerdict& v) {
+  if (fn.len != 32) return false;
+  const auto code = field_uint(fn, h);
+  if (!code) return false;
+  const auto name_code = static_cast<std::uint32_t>(*code);
+
+  auto it = pit_.find(name_code);
+  if (it == pit_.end() || it->second.expiry <= now) {
+    if (it != pit_.end()) pit_.erase(it);
+    v.drop(RefDrop::kPitMiss);  // unsolicited data
+    return true;
+  }
+  std::vector<std::uint32_t> faces = std::move(it->second.faces);
+  pit_.erase(it);
+  cs_insert(name_code, h.payload);
+  v.egress = std::move(faces);
+  return true;
+}
+
+bool RefNode::op_parm(const RefFn& fn, RefHeader& h, Scratch& scratch) {
+  if (fn.len != 128) return false;
+  const auto sid_bytes = field_bytes(fn, h);
+  if (sid_bytes.empty()) return false;
+  // §3: "the router will derive a dynamic key from session ID in the packet
+  // header with its local key" — AES as the DRKey PRF.
+  scratch.dynamic_key =
+      crypto::Aes128(cfg_.node_secret).encrypt_copy(crypto::block_from(sid_bytes));
+  return true;
+}
+
+bool RefNode::op_mac(const RefFn& fn, RefHeader& h, Scratch& scratch) {
+  if (!scratch.dynamic_key) return false;  // F_MAC without a preceding F_parm
+  const auto covered = field_bytes(fn, h);
+  if (covered.empty()) return false;
+  scratch.mac = crypto::make_mac(cfg_.mac_kind, *scratch.dynamic_key)->compute(covered);
+  return true;
+}
+
+bool RefNode::op_mark(const RefFn& fn, RefHeader& h, Scratch& scratch) {
+  if (!scratch.mac) return false;  // F_mark without a preceding F_MAC
+  if (fn.len != 128) return false;
+  const auto pvf = field_bytes(fn, h);
+  if (pvf.empty()) return false;
+
+  // PVF_i = m_i (the chain holds because F_MAC covered PVF_{i-1}).
+  crypto::block_to(*scratch.mac, pvf);
+
+  // OPV accumulates every hop's tag; it sits 16 bytes after the PVF in the
+  // same OPT block, addressed relative to the PVF's own offset.
+  const std::size_t opv_byte = fn.loc / 8 + kOptPvfToOpv;
+  if (opv_byte + 16 > h.locations.size()) return false;
+  auto opv = h.locations.subspan(opv_byte, 16);
+  for (std::size_t i = 0; i < 16; ++i) opv[i] ^= (*scratch.mac)[i];
+  return true;
+}
+
+bool RefNode::op_dag(const RefFn& fn, RefHeader& h, RefVerdict& v) {
+  const auto target = field_bytes(fn, h);
+  if (target.empty()) return false;
+  const auto parsed = parse_ref_dag(target);
+  if (!parsed) {
+    v.drop(RefDrop::kMalformed);
+    return true;
+  }
+  const RefDag& dag = *parsed;
+  std::uint8_t cursor = dag.cursor;
+
+  // Traversal: locally owned nodes are entered (cursor advances, written
+  // back to the wire); otherwise forward toward the first routable edge in
+  // priority order. Acyclicity bounds the walk.
+  for (std::size_t hops = 0; hops <= dag.nodes.size(); ++hops) {
+    if (cursor != kDagSourceCursor) {
+      const RefDagNode& at = dag.nodes[cursor];
+      if (cursor == dag.intent && xid_local_.contains({at.type, at.xid})) {
+        return true;  // at the local intent: F_intent decides
+      }
+    }
+    bool advanced = false;
+    for (const std::uint8_t next_index : dag.edges_of(cursor)) {
+      const RefDagNode& candidate = dag.nodes[next_index];
+      if (xid_local_.contains({candidate.type, candidate.xid})) {
+        cursor = next_index;
+        target[1] = next_index;  // write back last_visited
+        advanced = true;
+        break;
+      }
+      if (const auto route = xid_routes_.find({candidate.type, candidate.xid});
+          route != xid_routes_.end()) {
+        v.egress.assign(1, route->second);
+        return true;
+      }
+    }
+    if (!advanced) break;
+  }
+  v.drop(RefDrop::kNoRoute);  // no edge routable: XIA drops
+  return true;
+}
+
+bool RefNode::op_intent(const RefFn& fn, RefHeader& h, std::uint32_t ingress,
+                        RefVerdict& v) {
+  const auto target = field_bytes(fn, h);
+  if (target.empty()) return false;
+  const auto parsed = parse_ref_dag(target);
+  if (!parsed) {
+    v.drop(RefDrop::kMalformed);
+    return true;
+  }
+  const RefDag& dag = *parsed;
+  if (dag.cursor != dag.intent) return true;  // not at the intent yet
+
+  const RefDagNode& intent = dag.nodes[dag.intent];
+  if (!xid_local_.contains({intent.type, intent.xid})) {
+    return true;  // somebody else's intent; F_DAG already set the egress
+  }
+
+  if (intent.type == kXidCid) {
+    // Content intent: serve from the content store when possible.
+    if (cs_contains(ref_xid_code(intent.xid))) {
+      v.respond_from_cache = true;
+      v.egress.assign(1, ingress);
+      return true;
+    }
+    v.drop(RefDrop::kNoRoute);  // content not present
+    return true;
+  }
+  // Service/host/AD intent: deliver to the registered face, else treat the
+  // node itself as the sink.
+  if (const auto route = xid_routes_.find({intent.type, intent.xid});
+      route != xid_routes_.end()) {
+    v.egress.assign(1, route->second);
+  } else {
+    v.egress.assign(1, ingress);
+  }
+  return true;
+}
+
+bool RefNode::op_pass(const RefFn& fn, RefHeader& h, RefVerdict& v) {
+  if (!cfg_.enforce_pass) return true;  // policy off: free pass (§2.4)
+  if (fn.len != 128) return false;
+  const auto label = field_bytes(fn, h);
+  if (label.empty()) return false;
+  const crypto::Block expected =
+      crypto::make_mac(cfg_.mac_kind, cfg_.pass_key)->compute(h.payload);
+  if (!crypto::block_equal_ct(expected, crypto::block_from(label))) {
+    v.drop(RefDrop::kPolicyDenied);
+  }
+  return true;
+}
+
+bool RefNode::op_telemetry(const RefFn& fn, RefHeader& h, std::uint32_t ingress,
+                           SimTime now) {
+  const auto field = field_bytes(fn, h);
+  if (field.size() < 2) return false;
+  const std::uint8_t count = field[0];
+  const std::size_t offset = 2 + count * std::size_t{8};
+  if (offset + 8 > field.size()) {
+    field[1] |= 0x80;  // overflow: record dropped, packet unharmed
+    return true;
+  }
+  const auto node = static_cast<std::uint16_t>(cfg_.node_id);
+  const auto face = static_cast<std::uint16_t>(ingress);
+  const auto ts = static_cast<std::uint32_t>(now);
+  field[offset + 0] = static_cast<std::uint8_t>(node >> 8);
+  field[offset + 1] = static_cast<std::uint8_t>(node);
+  field[offset + 2] = static_cast<std::uint8_t>(face >> 8);
+  field[offset + 3] = static_cast<std::uint8_t>(face);
+  for (int i = 0; i < 4; ++i) {
+    field[offset + 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(ts >> (8 * (3 - i)));
+  }
+  field[0] = static_cast<std::uint8_t>(count + 1);
+  return true;
+}
+
+bool RefNode::op_hvf(const RefFn& fn, RefHeader& h, RefVerdict& v) {
+  const auto block = field_bytes(fn, h);
+  if (block.size() < kEpicFixedBytes) return false;
+  const std::uint8_t hop_index = block[kEpicHopIndexOffset];
+  const std::uint8_t hop_count = block[kEpicHopCountOffset];
+  if (hop_count > kEpicMaxHops ||
+      block.size() < kEpicFixedBytes + hop_count * kEpicHvfBytes) {
+    return false;
+  }
+  if (hop_index >= hop_count) {
+    // More routers on the path than hop fields: the source lied — drop.
+    v.drop(RefDrop::kAuthFailed);
+    return true;
+  }
+
+  const crypto::Block sid = crypto::block_from(block.subspan(kEpicSessionOffset, 16));
+  const crypto::Block key = crypto::Aes128(cfg_.node_secret).encrypt_copy(sid);
+
+  auto hvf = block.subspan(kEpicFixedBytes + hop_index * kEpicHvfBytes, kEpicHvfBytes);
+  const auto expected =
+      epic_hop_tag(key, block, hop_index, kEpicTagValidate, cfg_.mac_kind);
+  if (!std::equal(hvf.begin(), hvf.end(), expected.begin())) {
+    v.drop(RefDrop::kAuthFailed);  // forged traffic dies here
+    return true;
+  }
+  const auto proof = epic_hop_tag(key, block, hop_index, kEpicTagProof, cfg_.mac_kind);
+  std::copy(proof.begin(), proof.end(), hvf.begin());
+  block[kEpicHopIndexOffset] = static_cast<std::uint8_t>(hop_index + 1);
+  return true;
+}
+
+bool RefNode::op_dps(const RefFn& fn, RefHeader& h, SimTime now, RefVerdict& v) {
+  const auto field = field_bytes(fn, h);
+  if (field.size() < 8) return false;
+  std::uint32_t label = 0;
+  for (int i = 0; i < 4; ++i) label = (label << 8) | field[static_cast<std::size_t>(i)];
+  const std::size_t size = h.locations.size() + h.payload.size();
+
+  // CSFQ fair-share estimator (§5): windowed alpha update on arrival. The
+  // arithmetic mirrors the production estimator operation for operation so
+  // the doubles come out bit-identical.
+  dps_max_label_ = std::max(dps_max_label_, label);
+  if (now - dps_window_start_ >= cfg_.dps_window) {
+    const std::uint64_t window_ns = std::max<std::uint64_t>(cfg_.dps_window, 1);
+    const auto to_rate = [&](std::uint64_t b) {
+      return static_cast<double>(b) * static_cast<double>(kSecond) /
+             static_cast<double>(window_ns);
+    };
+    const double arrival = to_rate(dps_window_bytes_);
+    const double accepted = to_rate(dps_accepted_bytes_);
+    const auto capacity = static_cast<double>(cfg_.dps_capacity_bytes_per_sec);
+    if (arrival > capacity) {
+      const double ratio = std::clamp(capacity / std::max(accepted, 1.0), 0.1, 10.0);
+      dps_alpha_ = std::clamp(dps_alpha_ * ratio, 1.0, 4e9);
+    } else {
+      dps_alpha_ = std::max(dps_alpha_, static_cast<double>(dps_max_label_));
+    }
+    dps_window_start_ = now;
+    dps_window_bytes_ = 0;
+    dps_accepted_bytes_ = 0;
+    dps_max_label_ = 0;
+  }
+  dps_window_bytes_ += size;
+
+  if (label > 0) {
+    const double p = 1.0 - dps_alpha_ / static_cast<double>(label);
+    if (p > 0 && dps_rng_.uniform() < p) {
+      v.drop(RefDrop::kRateExceeded);
+      return true;
+    }
+  }
+  dps_accepted_bytes_ += size;
+  return true;
+}
+
+}  // namespace dip::refmodel

@@ -1,3 +1,7 @@
+#include <array>
+#include <span>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "dip/core/builder.hpp"
@@ -274,6 +278,102 @@ TEST(Builder, RoundTripsThroughWire) {
     ASSERT_TRUE(back);
     EXPECT_EQ(back->fns, h->fns);
     EXPECT_EQ(back->locations, h->locations);
+  }
+}
+
+// ---------- DipHeader::serialize error paths ----------
+
+TEST(Serialize, ShortSpanReportsOverflow) {
+  HeaderBuilder b;
+  const std::array<std::uint8_t, 4> field = {1, 2, 3, 4};
+  b.add_router_fn(OpKey::kMatch32, field);
+  const auto h = b.build();
+  ASSERT_TRUE(h);
+
+  // Every prefix of the wire image is too small, including the empty span.
+  for (std::size_t n = 0; n < h->wire_size(); ++n) {
+    std::vector<std::uint8_t> out(n);
+    const auto st = h->serialize(std::span<std::uint8_t>(out));
+    ASSERT_FALSE(st) << "span of " << n << " bytes must not fit "
+                     << h->wire_size();
+    EXPECT_EQ(st.error(), bytes::Error::kOverflow);
+  }
+  std::vector<std::uint8_t> exact(h->wire_size());
+  EXPECT_TRUE(h->serialize(std::span<std::uint8_t>(exact)));
+}
+
+TEST(Serialize, RejectsMoreFnsThanFnNumCanCount) {
+  DipHeader h;
+  h.locations.assign(4, 0);
+  for (int i = 0; i < 256; ++i) h.fns.push_back(FnTriple::router(0, 8, OpKey::kSource));
+  std::vector<std::uint8_t> out(h.wire_size());
+  const auto st = h.serialize(std::span<std::uint8_t>(out));
+  ASSERT_FALSE(st);
+  EXPECT_EQ(st.error(), bytes::Error::kOverflow);
+}
+
+TEST(Serialize, RejectsLocationsBeyondParamField) {
+  DipHeader h;
+  h.locations.assign(BasicHeader::kMaxLocLen + 1, 0);  // loc_len is 10 bits
+  std::vector<std::uint8_t> out(h.wire_size());
+  const auto st = h.serialize(std::span<std::uint8_t>(out));
+  ASSERT_FALSE(st);
+  EXPECT_EQ(st.error(), bytes::Error::kOverflow);
+}
+
+TEST(Serialize, FixesUpFnNumAndLocLenFromVectors) {
+  // serialize() must derive the wire counts from the vectors, not trust
+  // whatever stale values basic carries.
+  DipHeader h;
+  h.basic.fn_num = 99;
+  h.basic.loc_len = 999;
+  h.basic.hop_limit = 7;
+  h.locations = {0xAA, 0xBB, 0xCC, 0xDD};
+  h.fns.push_back(FnTriple::router(0, 32, OpKey::kMatch32));
+  const auto wire = h.serialize();
+  EXPECT_EQ(wire[1], 1);  // fn_num
+  const auto back = DipHeader::parse(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->basic.fn_num, 1);
+  EXPECT_EQ(back->basic.loc_len, 4);
+  EXPECT_EQ(back->locations, h.locations);
+}
+
+TEST(Serialize, ZeroFnHeaderRoundTrips) {
+  DipHeader h;
+  h.basic.hop_limit = 3;
+  const auto wire = h.serialize();
+  EXPECT_EQ(wire.size(), BasicHeader::kWireSize);
+  const auto back = DipHeader::parse(wire);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->fns.empty());
+  EXPECT_TRUE(back->locations.empty());
+  EXPECT_EQ(back->basic.hop_limit, 3);
+}
+
+TEST(Serialize, ParseSerializeRoundTripsRandomHeaders) {
+  crypto::Xoshiro256 rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    HeaderBuilder b;
+    b.hop_limit(static_cast<std::uint8_t>(rng.below(256)));
+    b.parallel(rng.below(2) == 0);
+    const std::size_t fns = rng.below(5);
+    for (std::size_t i = 0; i < fns; ++i) {
+      std::vector<std::uint8_t> field(1 + rng.below(24));
+      for (auto& byte : field) byte = static_cast<std::uint8_t>(rng.next());
+      b.add_router_fn(rng.below(2) == 0 ? OpKey::kSource : OpKey::kMatch32, field);
+    }
+    const auto h = b.build();
+    ASSERT_TRUE(h);
+    const auto wire = h->serialize();
+    const auto back = DipHeader::parse(wire);
+    ASSERT_TRUE(back);
+    // parse(serialize(h)) == h, and serializing again is byte-identical.
+    EXPECT_EQ(back->basic.hop_limit, h->basic.hop_limit);
+    EXPECT_EQ(back->basic.parallel, h->basic.parallel);
+    EXPECT_EQ(back->fns, h->fns);
+    EXPECT_EQ(back->locations, h->locations);
+    EXPECT_EQ(back->serialize(), wire);
   }
 }
 

@@ -20,6 +20,7 @@
 #include "dip/security/error_message.hpp"
 #include "dip/telemetry/telemetry.hpp"
 #include "dip/xia/xia.hpp"
+#include "proptest/proptest.hpp"
 
 namespace dip {
 namespace {
@@ -28,6 +29,51 @@ std::vector<std::uint8_t> random_bytes(crypto::Xoshiro256& rng, std::size_t max_
   std::vector<std::uint8_t> out(rng.below(max_len + 1));
   for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
   return out;
+}
+
+struct FuzzRouter {
+  FuzzRouter() {
+    registry = netsim::make_default_registry();
+    auto env = netsim::make_basic_env(1);
+    env.fib32->insert({fib::ipv4_from_u32(0x0A000000), 8}, 1);
+    env.fib128->insert({fib::parse_ipv6("2001:db8::").value(), 32}, 1);
+    env.content_store.emplace(64);
+    router.emplace(std::move(env), registry.get());
+  }
+  std::shared_ptr<core::OpRegistry> registry;
+  std::optional<core::Router> router;
+};
+
+// ---------- persisted corpus replays before any fresh generation ----------
+
+TEST(Fuzz, CorpusReplaysFirst) {
+  // Every shrunk reproducer from past failures (tests/corpus/*.hex) goes
+  // through the parsers and both router validation modes before this file
+  // generates anything new — regressions reproduce deterministically and
+  // first.
+  const auto corpus = proptest::load_corpus(DIP_CORPUS_DIR);
+  ASSERT_FALSE(corpus.empty()) << "tests/corpus/ must ship seed entries";
+  FuzzRouter strict;
+  FuzzRouter lenient;
+  lenient.router->set_validation(core::ValidationMode::kLenient);
+  for (const auto& [name, packet] : corpus) {
+    (void)core::DipHeader::parse(packet);
+    auto bind_probe = packet;
+    (void)core::HeaderView::bind(bind_probe);
+    auto for_strict = packet;
+    const auto s = strict.router->process(for_strict, 0, 0);
+    auto for_lenient = packet;
+    const auto l = lenient.router->process(for_lenient, 0, 0);
+    // The fuzz invariant (see SeededGrammarStrictAndLenientVerdictsStayCoherent):
+    // bind failures split by mode, everything else must agree.
+    if (core::HeaderView::bind(bind_probe).has_value()) {
+      EXPECT_EQ(s.action, l.action) << name;
+      EXPECT_EQ(s.reason, l.reason) << name;
+    } else {
+      EXPECT_EQ(s.reason, core::DropReason::kMalformed) << name;
+      EXPECT_EQ(l.reason, core::DropReason::kCorruptQuarantine) << name;
+    }
+  }
 }
 
 // ---------- pure parsers on random input ----------
@@ -103,19 +149,6 @@ TEST(Fuzz, SmallCodecsNeverCrash) {
 }
 
 // ---------- router on random and mutated packets ----------
-
-struct FuzzRouter {
-  FuzzRouter() {
-    registry = netsim::make_default_registry();
-    auto env = netsim::make_basic_env(1);
-    env.fib32->insert({fib::ipv4_from_u32(0x0A000000), 8}, 1);
-    env.fib128->insert({fib::parse_ipv6("2001:db8::").value(), 32}, 1);
-    env.content_store.emplace(64);
-    router.emplace(std::move(env), registry.get());
-  }
-  std::shared_ptr<core::OpRegistry> registry;
-  std::optional<core::Router> router;
-};
 
 TEST(Fuzz, RouterSurvivesRandomBytes) {
   FuzzRouter f;

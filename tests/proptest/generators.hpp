@@ -1,0 +1,544 @@
+// Seeded packet-stream generators for the conformance harness.
+//
+// One fixed "world" (routes, XIDs, sessions, secrets) is shared by the
+// production RouterEnv and the RefNode oracle — tests/support/conformance.hpp
+// builds both sides from the constants below. The stream generator then emits
+// a deterministic mix of every Table-1 composition plus adversarial,
+// corrupted, and resource-limit packets, all derived from one seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dip/core/builder.hpp"
+#include "dip/core/fn.hpp"
+#include "dip/crypto/random.hpp"
+#include "dip/epic/epic.hpp"
+#include "dip/fib/address.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/opt/session.hpp"
+#include "dip/qos/dps.hpp"
+#include "dip/security/pass.hpp"
+#include "dip/telemetry/telemetry.hpp"
+#include "dip/xia/dag.hpp"
+#include "dip/xia/xia.hpp"
+
+namespace dip::proptest {
+
+// ---------------------------------------------------------------------------
+// The conformance world — every constant both sides are configured from.
+// ---------------------------------------------------------------------------
+
+namespace world {
+
+inline constexpr std::uint32_t kNodeId = 7;
+inline constexpr std::uint32_t kDefaultEgress = 9;
+
+// Faces the schedule rotates through (block-constant; see ingress_of).
+inline constexpr std::uint32_t kFaces = 3;
+
+// F_32_match routes: 10.0.0.0/8 -> 1 with a more-specific 10.64.0.0/10 -> 2.
+inline constexpr std::uint32_t kNet10 = 0x0A000000;
+inline constexpr std::uint32_t kNet10_64 = 0x0A400000;
+inline constexpr std::uint32_t kNh10 = 1;
+inline constexpr std::uint32_t kNh10_64 = 2;
+
+// F_128_match route: 2001:db8::/32 -> 3.
+inline constexpr std::uint32_t kNh128 = 3;
+inline const std::array<std::uint8_t, 16> kNet128 = {0x20, 0x01, 0x0d, 0xb8};
+
+// NDN name-code space. Routable codes live inside 10/8 (F_FIB LPMs the code
+// in fib32); kCachedName is pre-stored in the content store.
+inline constexpr std::uint32_t kNdnRoutableBase = 0x0A010000;
+inline constexpr std::uint32_t kNdnRoutableCount = 8;
+inline constexpr std::uint32_t kNdnUnroutableBase = 0xCC000000;
+inline constexpr std::uint32_t kNdnUnroutableCount = 4;
+inline constexpr std::uint32_t kCachedName = 0x0AC0FFEE;
+
+// Node state limits — small enough that a 10k-packet stream exercises the
+// PIT-full and budget paths.
+inline constexpr std::uint32_t kBudget = 64;
+inline constexpr std::uint32_t kMaxFnPerPacket = 12;
+inline constexpr std::size_t kPitMaxEntries = 8;
+inline const SimDuration kPitLifetime = 50 * kMicrosecond;
+inline constexpr std::size_t kContentStoreCapacity = 64;
+
+// DPS (CSFQ) parameters for the dedicated rate-limiting stream.
+inline constexpr std::uint64_t kDpsCapacity = 1'000'000;
+inline const SimDuration kDpsWindow = 20 * kMillisecond;
+inline constexpr std::uint64_t kDpsSeed = 0xD5EED;
+
+inline const crypto::Block& node_secret() {
+  static const crypto::Block b = crypto::Xoshiro256(0xC0FFEE).block();
+  return b;
+}
+
+inline const crypto::Block& pass_key() {
+  static const crypto::Block b = crypto::Xoshiro256(0xBA55).block();
+  return b;
+}
+
+inline const crypto::Block& destination_secret() {
+  static const crypto::Block b = crypto::Xoshiro256(0xD00D).block();
+  return b;
+}
+
+/// One OPT/EPIC session whose single on-path router is this node.
+inline const opt::Session& session() {
+  static const opt::Session s = [] {
+    const std::array<crypto::Block, 1> router_secrets{node_secret()};
+    return opt::negotiate_session(crypto::Xoshiro256(0x0B7).block(), router_secrets,
+                                  destination_secret());
+  }();
+  return s;
+}
+
+// XIA principals. "Routed" XIDs have a table entry; "local" XIDs are owned
+// by this node; "remote" XIDs are known to nobody.
+inline const fib::Xid& ad_routed() {
+  static const fib::Xid x = xia::xid_from_label("conf-ad-routed");
+  return x;
+}
+inline constexpr std::uint32_t kNhAd = 4;
+inline const fib::Xid& ad_local() {
+  static const fib::Xid x = xia::xid_from_label("conf-ad-local");
+  return x;
+}
+inline const fib::Xid& hid_local() {
+  static const fib::Xid x = xia::xid_from_label("conf-hid-local");
+  return x;
+}
+inline const fib::Xid& sid_local() {
+  static const fib::Xid x = xia::xid_from_label("conf-sid-local");
+  return x;
+}
+inline constexpr std::uint32_t kNhSid = 6;
+inline const fib::Xid& cid_hit() {
+  static const fib::Xid x = xia::xid_from_label("conf-cid-hit");
+  return x;
+}
+inline const fib::Xid& cid_miss() {
+  static const fib::Xid x = xia::xid_from_label("conf-cid-miss");
+  return x;
+}
+inline const fib::Xid& hid_remote() {
+  static const fib::Xid x = xia::xid_from_label("conf-hid-remote");
+  return x;
+}
+inline const fib::Xid& sid_remote() {
+  static const fib::Xid x = xia::xid_from_label("conf-sid-remote");
+  return x;
+}
+
+/// Payload pre-stored for cid_hit() / kCachedName.
+inline const std::vector<std::uint8_t>& cached_payload() {
+  static const std::vector<std::uint8_t> p = {0xCA, 0xC4, 0xED, 0x01};
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// The stream schedule: timestamps and ingress faces are constant within each
+// kBatch-aligned block (the batch engine's burst contract), and advance per
+// block so PIT expiry / DPS windows actually tick.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kBatch = 32;
+
+inline SimTime now_of(std::size_t i) {
+  return static_cast<SimTime>(i / kBatch + 1) * (10 * kMicrosecond);
+}
+
+inline std::uint32_t ingress_of(std::size_t i) {
+  return 1 + static_cast<std::uint32_t>((i / kBatch) % kFaces);
+}
+
+}  // namespace world
+
+// ---------------------------------------------------------------------------
+// Packet construction
+// ---------------------------------------------------------------------------
+
+namespace gen {
+
+using Packet = std::vector<std::uint8_t>;
+
+inline Packet finish(const core::DipHeader& header, std::span<const std::uint8_t> payload) {
+  Packet out = header.serialize();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+inline Packet finish(const bytes::Result<core::DipHeader>& header,
+                     std::span<const std::uint8_t> payload) {
+  return finish(header.value(), payload);
+}
+
+inline Packet random_payload(crypto::Xoshiro256& rng, std::size_t max_len) {
+  Packet p(rng.below(max_len + 1));
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.u32());
+  return p;
+}
+
+inline std::uint8_t live_hops(crypto::Xoshiro256& rng) {
+  return static_cast<std::uint8_t>(2 + rng.below(6));
+}
+
+/// A raw wire header: arbitrary triples, declared loc_len, random locations
+/// bytes — the adversarial grammar (checksum kept valid so bind proceeds to
+/// the structural checks).
+inline Packet raw_wire(crypto::Xoshiro256& rng, std::size_t fn_count,
+                       std::size_t loc_bytes) {
+  Packet p;
+  p.push_back(59);                                     // next_header
+  p.push_back(static_cast<std::uint8_t>(fn_count));    // fn_num
+  p.push_back(live_hops(rng));                         // hop_limit
+  const auto param = static_cast<std::uint16_t>(((loc_bytes & 0x3ff) << 1) |
+                                                (rng.below(2) ? 1 : 0));
+  p.push_back(static_cast<std::uint8_t>(param >> 8));
+  p.push_back(static_cast<std::uint8_t>(param));
+  std::uint8_t check = 0xDB;
+  for (std::size_t i = 0; i < 5; ++i) check ^= p[i];
+  p.push_back(check);
+  for (std::size_t i = 0; i < fn_count; ++i) {
+    const auto loc = static_cast<std::uint16_t>(rng.below(loc_bytes * 8 + 16));
+    const auto len = static_cast<std::uint16_t>(rng.below(360));
+    auto op = static_cast<std::uint16_t>(rng.below(20));
+    if (rng.below(8) == 0) op |= 0x8000;  // occasional host tag
+    p.push_back(static_cast<std::uint8_t>(loc >> 8));
+    p.push_back(static_cast<std::uint8_t>(loc));
+    p.push_back(static_cast<std::uint8_t>(len >> 8));
+    p.push_back(static_cast<std::uint8_t>(len));
+    p.push_back(static_cast<std::uint8_t>(op >> 8));
+    p.push_back(static_cast<std::uint8_t>(op));
+  }
+  for (std::size_t i = 0; i < loc_bytes; ++i) {
+    p.push_back(static_cast<std::uint8_t>(rng.u32()));
+  }
+  return p;
+}
+
+inline std::uint32_t ndn_code(crypto::Xoshiro256& rng) {
+  const auto pick = rng.below(10);
+  if (pick == 0) return world::kCachedName;
+  if (pick < 8) {
+    return world::kNdnRoutableBase +
+           static_cast<std::uint32_t>(rng.below(world::kNdnRoutableCount));
+  }
+  return world::kNdnUnroutableBase +
+         static_cast<std::uint32_t>(rng.below(world::kNdnUnroutableCount));
+}
+
+inline std::array<std::uint8_t, 4> be32(std::uint32_t v) {
+  return {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+}
+
+inline std::uint32_t routable32(crypto::Xoshiro256& rng) {
+  // Half the draws land in the more-specific 10.64.0.0/10.
+  return world::kNet10 | (rng.u32() & 0x00ffffff) |
+         (rng.below(2) ? 0x00400000u : 0u);
+}
+
+inline Packet make_packet(crypto::Xoshiro256& rng) {
+  const auto variant = rng.below(30);
+  switch (variant) {
+    // -- DIP-32 / DIP-128 (plain traffic gets the heaviest weight) ----------
+    case 0:
+    case 1: {
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+      return finish(b.build(), random_payload(rng, 16));
+    }
+    case 2: {  // unroutable -> kNoRoute
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kMatch32, be32(0xC0A80000 | rng.u32() % 0xffff));
+      return finish(b.build(), random_payload(rng, 16));
+    }
+    case 3: {
+      std::array<std::uint8_t, 16> addr = world::kNet128;
+      for (std::size_t i = 4; i < 16; ++i) addr[i] = static_cast<std::uint8_t>(rng.u32());
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kMatch128, addr);
+      return finish(b.build(), random_payload(rng, 16));
+    }
+    case 4: {  // unroutable v6
+      std::array<std::uint8_t, 16> addr{};
+      for (auto& by : addr) by = static_cast<std::uint8_t>(rng.u32());
+      addr[0] = 0xfd;
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kMatch128, addr);
+      return finish(b.build(), random_payload(rng, 16));
+    }
+
+    // -- NDN ----------------------------------------------------------------
+    case 5:
+    case 6:
+      return finish(ndn::make_interest_header32(ndn_code(rng), core::NextHeader::kNone,
+                                                live_hops(rng)),
+                    random_payload(rng, 8));
+    case 7:
+    case 8:
+      return finish(ndn::make_data_header32(ndn_code(rng), core::NextHeader::kNone,
+                                            live_hops(rng)),
+                    random_payload(rng, 8));
+
+    // -- OPT / NDN+OPT ------------------------------------------------------
+    case 9: {
+      const Packet payload = random_payload(rng, 12);
+      return finish(opt::make_opt_header(world::session(), payload, rng.u32(),
+                                         core::NextHeader::kNone, live_hops(rng)),
+                    payload);
+    }
+    case 10: {
+      const Packet payload = random_payload(rng, 12);
+      return finish(
+          opt::make_ndn_opt_header(ndn_code(rng), rng.below(2) == 0, world::session(),
+                                   payload, rng.u32(), core::NextHeader::kNone,
+                                   live_hops(rng)),
+          payload);
+    }
+
+    // -- XIA ----------------------------------------------------------------
+    case 11: {  // remote intent, routed AD: forwards toward the AD
+      const xia::Dag dag =
+          xia::make_service_dag(world::ad_routed(), world::hid_remote(),
+                                fib::XidType::kSid, world::sid_remote());
+      return finish(xia::make_xia_header(dag, core::NextHeader::kNone, live_hops(rng)),
+                    random_payload(rng, 8));
+    }
+    case 12: {  // full local traversal to the SID intent (cursor writebacks)
+      const xia::Dag dag =
+          xia::make_service_dag(world::ad_local(), world::hid_local(),
+                                fib::XidType::kSid, world::sid_local(),
+                                /*direct_intent=*/false);
+      return finish(xia::make_xia_header(dag, core::NextHeader::kNone, live_hops(rng)),
+                    random_payload(rng, 8));
+    }
+    case 13: {  // CID intent in the content store
+      const xia::Dag dag =
+          xia::make_service_dag(world::ad_local(), world::hid_local(),
+                                fib::XidType::kCid, world::cid_hit());
+      return finish(xia::make_xia_header(dag, core::NextHeader::kNone, live_hops(rng)),
+                    random_payload(rng, 8));
+    }
+    case 14: {  // CID intent absent from the store
+      const xia::Dag dag =
+          xia::make_service_dag(world::ad_local(), world::hid_local(),
+                                fib::XidType::kCid, world::cid_miss());
+      return finish(xia::make_xia_header(dag, core::NextHeader::kNone, live_hops(rng)),
+                    random_payload(rng, 8));
+    }
+    case 15: {  // nobody on the DAG is routable
+      const xia::Dag dag =
+          xia::make_service_dag(xia::xid_from_label("conf-ad-nowhere"),
+                                world::hid_remote(), fib::XidType::kSid,
+                                world::sid_remote());
+      return finish(xia::make_xia_header(dag, core::NextHeader::kNone, live_hops(rng)),
+                    random_payload(rng, 8));
+    }
+
+    // -- EPIC ---------------------------------------------------------------
+    case 16: {  // valid hop field: verified, stamped, forwarded
+      const Packet payload = random_payload(rng, 12);
+      return finish(epic::make_epic_header(world::session(), payload, rng.u32(),
+                                           core::NextHeader::kNone, live_hops(rng)),
+                    payload);
+    }
+    case 17: {  // forged HVF -> kAuthFailed at this hop
+      const Packet payload = random_payload(rng, 12);
+      Packet p = finish(epic::make_epic_header(world::session(), payload, rng.u32(),
+                                               core::NextHeader::kNone, live_hops(rng)),
+                        payload);
+      // Locations start after basic header (6) + one FN triple (6); the HVF
+      // array sits 40 bytes into the block.
+      p[12 + 40 + rng.below(4)] ^= 0x5a;
+      return p;
+    }
+    case 18: {  // hop_index already == hop_count -> kAuthFailed
+      const Packet payload = random_payload(rng, 12);
+      auto block = epic::make_source_block(world::session(), payload, rng.u32());
+      block[36] = block[37];
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kHvf, block);
+      return finish(b.build(), payload);
+    }
+
+    // -- F_pass -------------------------------------------------------------
+    case 19: {  // valid label
+      const Packet payload = random_payload(rng, 12);
+      const crypto::Block label = security::issue_label(world::pass_key(), payload);
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kPass, label);
+      if (rng.below(2) == 0) {
+        b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+      }
+      return finish(b.build(), payload);
+    }
+    case 20: {  // forged label -> kPolicyDenied
+      const Packet payload = random_payload(rng, 12);
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kPass, rng.block());
+      return finish(b.build(), payload);
+    }
+
+    // -- Telemetry ----------------------------------------------------------
+    case 21: {
+      const std::size_t max_hops = 1 + rng.below(2);
+      const bool overflow = rng.below(3) == 0;
+      std::vector<std::uint8_t> field(telemetry::telemetry_field_bytes(max_hops), 0);
+      if (overflow) field[0] = static_cast<std::uint8_t>(max_hops);  // already full
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      const std::uint16_t loc = b.add_location(field);
+      b.add_fn(core::FnTriple::router(
+          loc, static_cast<std::uint16_t>(field.size() * 8), core::OpKey::kTelemetry));
+      if (rng.below(2) == 0) {
+        b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+      }
+      return finish(b.build(), random_payload(rng, 8));
+    }
+
+    // -- Resource limits ----------------------------------------------------
+    case 22: {  // budget burner: F_parm + 8x F_MAC = 66 > 64 units
+      std::array<std::uint8_t, 68> block{};
+      for (auto& by : block) by = static_cast<std::uint8_t>(rng.u32());
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_location(block);
+      b.add_fn(core::FnTriple::router(128, 128, core::OpKey::kParm));
+      for (int i = 0; i < 8; ++i) {
+        b.add_fn(core::FnTriple::router(0, 416, core::OpKey::kMac));
+      }
+      return finish(b.build(), {});
+    }
+    case 23: {  // FN flood: 10..12 pass (and execute F_source), 13..16 exceed
+      // the node's max_fn_per_packet and are policy-rejected after bind.
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      const std::size_t n = 10 + rng.below(7);
+      for (std::size_t i = 0; i < n; ++i) {
+        b.add_router_fn(core::OpKey::kSource, be32(rng.u32()));
+      }
+      return finish(b.build(), {});
+    }
+    case 24: {  // hop-limit edge: arrives with 0 or 1
+      core::HeaderBuilder b;
+      b.hop_limit(static_cast<std::uint8_t>(rng.below(2)));
+      b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+      return finish(b.build(), random_payload(rng, 8));
+    }
+
+    // -- Heterogeneous support ---------------------------------------------
+    case 25: {  // router-tagged F_ver: unsupported path-critical FN
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      if (rng.below(2) == 0) {
+        b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+      }
+      b.add_router_fn(core::OpKey::kVer, rng.block());
+      return finish(b.build(), {});
+    }
+    case 26: {  // unknown + optional keys are skipped; zero-FN headers forward
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      const auto pick = rng.below(3);
+      if (pick == 0) {
+        b.add_router_fn(core::OpKey::kCc, be32(rng.u32()));  // not registered
+        b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+      } else if (pick == 1) {
+        const auto field = be32(rng.u32());
+        const std::uint16_t loc = b.add_location(field);
+        b.add_fn(core::FnTriple{loc, 32, 200});  // unknown op key
+      }
+      return finish(b.build(), random_payload(rng, 8));
+    }
+
+    // -- Modular parallelism ------------------------------------------------
+    case 27: {  // eligible: disjoint match fields, relaxed order observable
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng)).parallel(true);
+      b.add_router_fn(core::OpKey::kMatch32, be32(world::kNet10 | 0x1234));
+      b.add_router_fn(core::OpKey::kMatch32, be32(world::kNet10_64 | 0x1234));
+      return finish(b.build(), random_payload(rng, 8));
+    }
+    case 28: {  // ineligible: F_FIB is order-dependent -> sequential fallback
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng)).parallel(true);
+      b.add_router_fn(core::OpKey::kFib, be32(ndn_code(rng)));
+      return finish(b.build(), random_payload(rng, 8));
+    }
+
+    // -- Adversarial grammar + corruption ------------------------------------
+    default: {
+      const auto kind = rng.below(3);
+      if (kind == 0) {
+        return raw_wire(rng, rng.below(5), rng.below(48));
+      }
+      // Start from a simple well-formed packet, then damage it.
+      core::HeaderBuilder b;
+      b.hop_limit(live_hops(rng));
+      b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+      Packet p = finish(b.build(), random_payload(rng, 8));
+      if (kind == 1) {
+        p.resize(rng.below(p.size()));  // truncate
+      } else {
+        const std::size_t flips = 1 + rng.below(3);
+        for (std::size_t i = 0; i < flips; ++i) {
+          p[rng.below(p.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        }
+        if (rng.below(2) == 0 && p.size() >= 6) {
+          // Re-patch the checksum so bind proceeds into the damaged triples.
+          std::uint8_t check = 0xDB;
+          for (std::size_t i = 0; i < 5; ++i) check ^= p[i];
+          p[5] = check;
+        }
+      }
+      return p;
+    }
+  }
+}
+
+/// The main conformance stream: `count` packets drawn from every family.
+inline std::vector<Packet> make_conformance_stream(std::uint64_t seed,
+                                                   std::size_t count) {
+  crypto::Xoshiro256 rng(seed);
+  std::vector<Packet> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) stream.push_back(make_packet(rng));
+  return stream;
+}
+
+/// Dedicated F_dps stream: labeled packets around the fair-share capacity so
+/// probabilistic drops (kRateExceeded) actually fire. Only meaningful for
+/// engines that process in stream order (scalar/batch): DpsOp consumes RNG
+/// draws in arrival order.
+inline std::vector<Packet> make_dps_stream(std::uint64_t seed, std::size_t count) {
+  crypto::Xoshiro256 rng(seed);
+  std::vector<Packet> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Labels span [0, 3 * capacity): label <= alpha forwards, larger labels
+    // drop with p = 1 - alpha/label. Zero labels skip policing entirely.
+    const auto label = static_cast<std::uint32_t>(rng.below(3 * world::kDpsCapacity));
+    core::HeaderBuilder b;
+    b.hop_limit(live_hops(rng));
+    qos::add_dps_fn(b, static_cast<std::uint32_t>(i % 17), label);
+    if (rng.below(2) == 0) {
+      b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+    }
+    stream.push_back(finish(b.build(), random_payload(rng, 32)));
+  }
+  return stream;
+}
+
+}  // namespace gen
+}  // namespace dip::proptest

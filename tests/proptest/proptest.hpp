@@ -1,0 +1,231 @@
+// Minimal header-only property-testing support for the conformance harness:
+// integrated shrinking of failing packets and a persisted failure corpus.
+//
+// Shrinking is predicate-driven and greedy: given a packet for which
+// `fails(packet)` is true, repeatedly try smaller candidates (drop an FN,
+// drop the payload, truncate the locations block, zero bytes; for packets
+// that do not even parse, truncate and zero raw bytes) and keep any
+// candidate that still fails, until a fixpoint. The result is the minimal
+// reproducer committed to tests/corpus/.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dip/core/header.hpp"
+
+namespace dip::proptest {
+
+using Packet = std::vector<std::uint8_t>;
+using FailPredicate = std::function<bool(const Packet&)>;
+
+// ---------------------------------------------------------------------------
+// Hex + corpus persistence
+// ---------------------------------------------------------------------------
+
+inline std::string hex_encode(const Packet& data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+inline std::optional<Packet> hex_decode(std::string_view hex) {
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Packet out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size() || i + 1 == hex.size(); i += 2) {
+    if (i + 1 >= hex.size()) break;
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+/// Load every *.hex file under `dir`, sorted by filename (determinism).
+/// Lines starting with '#' and blank lines are ignored; every other line is
+/// one hex-encoded packet.
+inline std::vector<std::pair<std::string, Packet>> load_corpus(
+    const std::filesystem::path& dir) {
+  std::vector<std::pair<std::string, Packet>> out;
+  if (!std::filesystem::exists(dir)) return out;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".hex") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line[0] == '#') continue;
+      if (auto packet = hex_decode(line)) {
+        out.emplace_back(file.filename().string(), std::move(*packet));
+      }
+    }
+  }
+  return out;
+}
+
+/// Persist a shrunk reproducer. Returns the written path.
+inline std::filesystem::path save_corpus_entry(const std::filesystem::path& dir,
+                                               const std::string& name,
+                                               const Packet& packet,
+                                               const std::string& comment = {}) {
+  std::filesystem::create_directories(dir);
+  const auto path = dir / (name + ".hex");
+  std::ofstream out(path, std::ios::trunc);
+  if (!comment.empty()) out << "# " << comment << "\n";
+  out << hex_encode(packet) << "\n";
+  return path;
+}
+
+/// Stable content-derived name for a corpus entry (FNV-1a over the bytes).
+inline std::string corpus_name(const Packet& packet) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : packet) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return std::string("shrunk-") + buf;
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Number of FN triples the packet declares (0 if it does not parse).
+inline std::size_t fn_count(const Packet& packet) {
+  const auto h = core::DipHeader::parse(packet);
+  return h ? h->fns.size() : 0;
+}
+
+namespace detail {
+
+inline Packet rebuild(const core::DipHeader& header, const Packet& payload) {
+  Packet out = header.serialize();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+/// One pass of structural moves over a parsed packet. Returns true (and
+/// updates `packet`) if any smaller candidate still fails.
+inline bool shrink_structural_once(Packet& packet, const FailPredicate& fails) {
+  const auto parsed = core::DipHeader::parse(packet);
+  if (!parsed) return false;
+  const core::DipHeader& h = *parsed;
+  const Packet payload(packet.begin() + static_cast<std::ptrdiff_t>(h.wire_size()),
+                       packet.end());
+
+  // Drop the payload.
+  if (!payload.empty()) {
+    const Packet cand = rebuild(h, {});
+    if (fails(cand)) {
+      packet = cand;
+      return true;
+    }
+  }
+  // Drop one FN triple.
+  for (std::size_t i = 0; i < h.fns.size(); ++i) {
+    core::DipHeader smaller = h;
+    smaller.fns.erase(smaller.fns.begin() + static_cast<std::ptrdiff_t>(i));
+    const Packet cand = rebuild(smaller, payload);
+    if (fails(cand)) {
+      packet = cand;
+      return true;
+    }
+  }
+  // Truncate the locations block to the minimal cover of the remaining FNs.
+  std::size_t need = 0;
+  for (const core::FnTriple& fn : h.fns) {
+    need = std::max(need, (static_cast<std::size_t>(fn.field_loc) + fn.field_len + 7) / 8);
+  }
+  if (need < h.locations.size()) {
+    core::DipHeader smaller = h;
+    smaller.locations.resize(need);
+    const Packet cand = rebuild(smaller, payload);
+    if (fails(cand)) {
+      packet = cand;
+      return true;
+    }
+  }
+  // Zero a locations byte (canonicalize content without changing shape).
+  for (std::size_t i = 0; i < h.locations.size(); ++i) {
+    if (h.locations[i] == 0) continue;
+    core::DipHeader smaller = h;
+    smaller.locations[i] = 0;
+    const Packet cand = rebuild(smaller, payload);
+    if (fails(cand)) {
+      packet = cand;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One pass of raw byte moves (for packets that do not parse at all).
+inline bool shrink_raw_once(Packet& packet, const FailPredicate& fails) {
+  // Truncate the tail, largest cut first.
+  for (std::size_t cut = packet.size() / 2; cut >= 1; cut /= 2) {
+    if (cut >= packet.size()) continue;
+    Packet cand(packet.begin(),
+                packet.end() - static_cast<std::ptrdiff_t>(cut));
+    if (fails(cand)) {
+      packet = std::move(cand);
+      return true;
+    }
+  }
+  // Zero single bytes.
+  for (std::size_t i = 0; i < packet.size(); ++i) {
+    if (packet[i] == 0) continue;
+    Packet cand = packet;
+    cand[i] = 0;
+    if (fails(cand)) {
+      packet = std::move(cand);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Greedy fixpoint minimization: `fails(packet)` must be true on entry and
+/// stays true for the returned reproducer. The predicate must be pure
+/// (rebuild all state per call) or shrinking is meaningless.
+inline Packet shrink_packet(Packet packet, const FailPredicate& fails) {
+  if (!fails(packet)) return packet;
+  for (bool progress = true; progress;) {
+    progress = core::DipHeader::parse(packet).has_value()
+                   ? detail::shrink_structural_once(packet, fails)
+                   : detail::shrink_raw_once(packet, fails);
+  }
+  return packet;
+}
+
+}  // namespace dip::proptest

@@ -1,0 +1,132 @@
+// Golden wire vectors: one canonical packet per Table-1 composition,
+// committed as hex under tests/vectors/. Each vector must (a) byte-match the
+// current composer output, (b) survive parse -> serialize byte-identically,
+// and (c) get the expected verdict from the executable-spec reference model.
+//
+// Regenerate after a deliberate wire-format change with:
+//   DIP_REGEN_VECTORS=1 ./vectors_test
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dip/core/header.hpp"
+#include "dip/core/ip.hpp"
+#include "dip/epic/epic.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/xia/xia.hpp"
+#include "proptest/proptest.hpp"
+#include "support/conformance.hpp"
+
+namespace {
+
+using namespace dip;               // NOLINT
+using namespace dip::conformance;  // NOLINT
+using proptest::Packet;
+
+struct Vector {
+  const char* file;        // under tests/vectors/
+  Packet packet;           // composer output, payload included
+  std::vector<std::uint32_t> egress;  // expected refmodel egress
+};
+
+const std::vector<std::uint8_t>& payload() {
+  static const std::vector<std::uint8_t> p = {'d', 'i', 'p', '-', 'v', 'e', 'c'};
+  return p;
+}
+
+Packet with_payload(const bytes::Result<core::DipHeader>& header) {
+  Packet out = header.value().serialize();
+  out.insert(out.end(), payload().begin(), payload().end());
+  return out;
+}
+
+/// The six Table-1 compositions over the conformance world, all inputs fixed.
+std::vector<Vector> make_vectors() {
+  std::vector<Vector> v;
+  // DIP-32: dst in 10.64/10 -> next hop 2.
+  v.push_back({"dip32.hex",
+               with_payload(core::make_dip32_header(
+                   fib::ipv4_from_u32(w::kNet10_64 | 0x0101),
+                   fib::ipv4_from_u32(0xC0000201))),
+               {w::kNh10_64}});
+  // DIP-128: dst in 2001:db8::/32 -> next hop 3.
+  fib::Ipv6Addr dst{w::kNet128};
+  dst.bytes[15] = 1;
+  v.push_back({"dip128.hex",
+               with_payload(core::make_dip128_header(dst, fib::Ipv6Addr{})),
+               {w::kNh128}});
+  // NDN interest: name code LPMs inside 10/8 -> next hop 1.
+  v.push_back({"ndn.hex",
+               with_payload(ndn::make_interest_header32(w::kNdnRoutableBase + 1)),
+               {w::kNh10}});
+  // OPT: chain runs, F_ver is host-tagged, default egress forwards.
+  v.push_back({"opt.hex",
+               with_payload(opt::make_opt_header(w::session(), payload(), 0x11223344)),
+               {w::kDefaultEgress}});
+  // NDN+OPT interest: the name FN decides the egress, OPT rides along.
+  v.push_back({"ndn_opt.hex",
+               with_payload(opt::make_ndn_opt_header(w::kNdnRoutableBase + 2,
+                                                     /*interest=*/true, w::session(),
+                                                     payload(), 0x11223344)),
+               {w::kNh10}});
+  // XIA: remote service intent behind a routed AD -> next hop 4.
+  const xia::Dag dag =
+      xia::make_service_dag(w::ad_routed(), w::hid_remote(), fib::XidType::kSid,
+                            w::sid_remote());
+  v.push_back({"xia.hex", with_payload(xia::make_xia_header(dag)), {w::kNhAd}});
+  return v;
+}
+
+std::filesystem::path vector_path(const char* file) {
+  return std::filesystem::path(DIP_VECTORS_DIR) / file;
+}
+
+TEST(Vectors, GoldenWireVectors) {
+  const bool regen = std::getenv("DIP_REGEN_VECTORS") != nullptr;
+  for (const Vector& vec : make_vectors()) {
+    const auto path = vector_path(vec.file);
+    if (regen) {
+      std::filesystem::create_directories(path.parent_path());
+      std::ofstream out(path, std::ios::trunc);
+      out << "# golden wire vector (regenerate: DIP_REGEN_VECTORS=1 ./vectors_test)\n"
+          << proptest::hex_encode(vec.packet) << "\n";
+      continue;
+    }
+
+    // (a) The committed bytes match what the composers produce today.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden vector " << path;
+    std::string line;
+    Packet golden;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto decoded = proptest::hex_decode(line);
+      ASSERT_TRUE(decoded.has_value()) << path;
+      golden = *decoded;
+      break;
+    }
+    EXPECT_EQ(golden, vec.packet) << vec.file << " drifted from composer output";
+
+    // (b) parse -> serialize round-trips the header bytes exactly.
+    const auto parsed = core::DipHeader::parse(golden);
+    ASSERT_TRUE(parsed.has_value()) << vec.file;
+    Packet rebuilt = parsed->serialize();
+    rebuilt.insert(rebuilt.end(), golden.begin() + static_cast<std::ptrdiff_t>(
+                                                       parsed->wire_size()),
+                   golden.end());
+    EXPECT_EQ(rebuilt, golden) << vec.file << " does not round-trip";
+
+    // (c) The reference model forwards it where Table 1 says it goes.
+    refmodel::RefNode node = make_ref_node(/*lenient=*/false);
+    Packet mutated = golden;
+    const refmodel::RefVerdict rv = node.process(mutated, /*ingress=*/1, w::now_of(0));
+    EXPECT_EQ(rv.action, refmodel::RefAction::kForward) << vec.file;
+    EXPECT_EQ(rv.egress, vec.egress) << vec.file;
+  }
+}
+
+}  // namespace
