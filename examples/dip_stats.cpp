@@ -13,9 +13,12 @@
 //   3. the chaos-layer drop reasons — corrupt-quarantine on a lenient
 //      router behind a corrupting link, and overload shedding on a tiny
 //      pool (docs/FAULTS.md has the taxonomy);
-//   4. the full Prometheus-style text exposition (written to the optional
+//   4. the control plane under a link flap — route churn, convergence
+//      time, and QSBR snapshot reclamation, the dip_ctrl_* series
+//      (docs/CONTROL_PLANE.md);
+//   5. the full Prometheus-style text exposition (written to the optional
 //      file argument, else printed), composed through a StatsRegistry that
-//      carries pool, node, and network sections.
+//      carries pool, node, network, and control-plane sections.
 //
 // The metric catalogue is documented in docs/OBSERVABILITY.md.
 #include <cstdio>
@@ -26,6 +29,7 @@
 
 #include "dip/core/ip.hpp"
 #include "dip/core/router_pool.hpp"
+#include "dip/ctrl/control_plane.hpp"
 #include "dip/fib/lpm.hpp"
 #include "dip/ndn/ndn.hpp"
 #include "dip/netsim/dip_node.hpp"
@@ -229,11 +233,92 @@ int main(int argc, char** argv) {
               "(dip_shed_total)\n",
               static_cast<unsigned long long>(shed_refusals));
 
-  // --- 4. Full exposition page via a StatsRegistry: pool + node + network.
+  // --- 4. Control plane under a link flap: churn + convergence + QSBR ----
+  // --- reclamation on a diamond topology (docs/CONTROL_PLANE.md). The ----
+  // --- primary path A-B-D goes dark for 300 us at t=1 ms; the control ----
+  // --- plane detects it within one poll, reroutes via C, and routes ------
+  // --- back when the link recovers. --------------------------------------
+  constexpr SimDuration kCtrlPoll = 70 * kMicrosecond;
+  netsim::Network ctrl_net;
+  std::vector<std::unique_ptr<netsim::DipRouterNode>> ctrl_routers;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    core::RouterEnv env = netsim::make_basic_env(200 + i);
+    env.default_egress.reset();  // no route = blackhole, not fallback
+    ctrl_routers.push_back(
+        std::make_unique<netsim::DipRouterNode>(std::move(env), registry));
+    ctrl_net.add_node(*ctrl_routers[i]);
+  }
+  netsim::LinkParams flaky;
+  flaky.faults.blackout_period = 1 * kMillisecond;
+  flaky.faults.blackout_duration = 300 * kMicrosecond;
+  ctrl_net.connect(*ctrl_routers[0], *ctrl_routers[1], flaky);  // A-B primary
+  ctrl_net.connect(*ctrl_routers[1], *ctrl_routers[3]);         // B-D
+  ctrl_net.connect(*ctrl_routers[0], *ctrl_routers[2]);         // A-C backup
+  ctrl_net.connect(*ctrl_routers[2], *ctrl_routers[3]);         // C-D
+
+  netsim::HostNode ctrl_source;
+  std::size_t ctrl_delivered = 0;
+  netsim::HostNode ctrl_dest(
+      [&ctrl_delivered](netsim::FaceId, netsim::PacketBytes, SimTime) {
+        ++ctrl_delivered;
+      });
+  ctrl_net.add_node(ctrl_source);
+  ctrl_net.add_node(ctrl_dest);
+  const auto [ctrl_source_face, a_ingress] = ctrl_net.connect(ctrl_source, *ctrl_routers[0]);
+  (void)a_ingress;
+  const auto [d_delivery, dest_ingress] = ctrl_net.connect(*ctrl_routers[3], ctrl_dest);
+  (void)dest_ingress;
+
+  ctrl::ControlPlane cp(ctrl_net, ctrl::ControlPlaneConfig{.poll_interval = kCtrlPoll});
+  for (auto& r : ctrl_routers) cp.manage(*r);
+  cp.add_destination({fib::ipv4_from_u32(0x0A000000), 8},
+                     ctrl_routers[3]->id(), d_delivery);
+  for (SimTime t = 5 * kMicrosecond; t < 1900 * kMicrosecond; t += 20 * kMicrosecond) {
+    ctrl_net.loop().schedule_at(t, [&ctrl_source, f = ctrl_source_face] {
+      ctrl_source.send(f, core::make_dip32_header(fib::ipv4_from_u32(0x0A000001),
+                                                  fib::parse_ipv4("172.16.0.1").value())
+                              ->serialize());
+    });
+  }
+  cp.start(/*horizon=*/1950 * kMicrosecond);
+  ctrl_net.run();
+
+  const ctrl::ControlPlaneStats& cs = cp.stats();
+  std::printf("\n[ctrl] diamond topology, primary link dark for 300 us at t=1 ms "
+              "(poll %llu us):\n",
+              static_cast<unsigned long long>(kCtrlPoll / kMicrosecond));
+  std::printf("  link events: %llu down, %llu up; %llu SPF recomputes, "
+              "%llu publishes\n",
+              static_cast<unsigned long long>(cs.link_down_events),
+              static_cast<unsigned long long>(cs.link_up_events),
+              static_cast<unsigned long long>(cs.recomputes),
+              static_cast<unsigned long long>(cs.publishes));
+  std::printf("  convergences=%llu, last event->publish %llu us "
+              "(includes detection latency)\n",
+              static_cast<unsigned long long>(cs.convergences),
+              static_cast<unsigned long long>(cs.last_convergence_ns / kMicrosecond));
+  std::printf("  delivered %zu packets; %llu blackholed inside the detection "
+              "window, none after\n",
+              ctrl_delivered,
+              static_cast<unsigned long long>(ctrl_net.stats().blackholed));
+  {
+    ctrl::RouteJournal* a_journal = cp.journal(ctrl_routers[0]->id());
+    a_journal->flush();  // one more reclaim round after the last burst
+    std::printf("  node A: %llu route snapshots published, %llu reclaimed, "
+                "backlog %zu\n",
+                static_cast<unsigned long long>(a_journal->stats().snapshots_published),
+                static_cast<unsigned long long>(
+                    a_journal->tables().domain.reclaimed_total()),
+                a_journal->tables().domain.backlog());
+  }
+
+  // --- 5. Full exposition page via a StatsRegistry: pool + node + --------
+  // --- network + control plane. ------------------------------------------
   telemetry::StatsRegistry page;
   pool.register_stats(page);
   node.register_stats(page);
   net.register_stats(page);
+  cp.register_stats(page);
   const std::string exposition = page.render();
 
   if (argc > 1) {

@@ -2,8 +2,8 @@
 # Full verification pipeline: release build + tests + benches, then an
 # ASan/UBSan build + tests. This is what CI should run.
 #
-#   --fast   docs check + release build + the unit/property test tiers only
-#            (see docs/TESTING.md): the inner-loop lane, no benches, no
+#   --fast   docs check + release build + the unit/property/ctrl test tiers
+#            only (see docs/TESTING.md): the inner-loop lane, no benches, no
 #            sanitizer rebuilds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,8 +46,8 @@ cmake -B build -G Ninja >/dev/null
 cmake --build build
 
 if [ "$FAST" -eq 1 ]; then
-  echo "== tests (--fast: unit + property tiers) =="
-  ctest --test-dir build -L "unit|property" --output-on-failure
+  echo "== tests (--fast: unit + property + ctrl tiers) =="
+  ctest --test-dir build -L "unit|property|ctrl" --output-on-failure
   echo "FAST CHECKS PASSED"
   exit 0
 fi
@@ -82,11 +82,11 @@ echo "== TSan build (RouterPool / SpscRing concurrency + chaos harness) =="
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
   >/dev/null
 cmake --build build-tsan --target pipeline_test stats_test chaos_test \
-  differential_test conformance_test
+  differential_test conformance_test ctrl_test
 
-echo "== pipeline + stats + chaos + differential + conformance tests under TSan =="
+echo "== pipeline + stats + chaos + differential + conformance + ctrl tests under TSan =="
 ctest --test-dir build-tsan \
-  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test" \
+  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test|ctrl_test" \
   --output-on-failure
 
 echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="
@@ -94,5 +94,7 @@ echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="
 #   build/bench/bench_chaos --benchmark_min_time=0.2 \
 #     --benchmark_out=BENCH_chaos.json --benchmark_out_format=json
 # The smoke loop above already executes bench_chaos once per run.
+# BENCH_control_plane.json (snapshot read overhead vs static FIB) is
+# refreshed the same way from bench_control_plane.
 
 echo "ALL CHECKS PASSED"

@@ -20,6 +20,7 @@
 #include "dip/bytes/time.hpp"
 #include "dip/crypto/aes.hpp"
 #include "dip/crypto/mac.hpp"
+#include "dip/ctrl/tables.hpp"
 #include "dip/fib/lpm.hpp"
 #include "dip/fib/xid_table.hpp"
 #include "dip/pit/content_store.hpp"
@@ -42,11 +43,53 @@ struct RouterEnv {
   std::uint32_t node_id = 0;
 
   // ---- forwarding state -------------------------------------------------
-  // Read-mostly and shareable across RouterPool workers (mutate only while
-  // the data path is quiesced).
+  // Static configuration: tables fixed before traffic starts, shareable
+  // across RouterPool workers, and never mutated afterwards. Post-start
+  // route churn must go through `control` below — mutating these shared
+  // tables while workers forward is a data race.
   std::shared_ptr<fib::Ipv4Lpm> fib32;    ///< used by F_32_match and F_FIB
   std::shared_ptr<fib::Ipv6Lpm> fib128;   ///< used by F_128_match
   std::shared_ptr<fib::XidTable> xid_table;  ///< used by F_DAG / F_intent (XIA)
+
+  // ---- control plane (docs/CONTROL_PLANE.md) ----------------------------
+  /// RCU snapshot tables published by the control plane. nullptr (the
+  /// default) keeps the static configuration above. When set, the data
+  /// path reads exclusively through the *_view() accessors and the static
+  /// pointers are ignored for forwarding.
+  std::shared_ptr<ctrl::ControlTables> control;
+  /// This environment's reader registration with control->domain; every
+  /// RouterPool worker env (and the calling thread of a scalar Router)
+  /// holds its own. Must be set whenever `control` is.
+  ctrl::ReaderHandle ctrl_reader;
+
+  /// Data-path table views: current RCU snapshot when under control-plane
+  /// management, else the static table. Raw pointers are valid until this
+  /// env's next ctrl_quiesce()/ctrl_park() announcement.
+  [[nodiscard]] const fib::Ipv4Lpm* fib32_view() const noexcept {
+    return control ? control->fib32.read() : fib32.get();
+  }
+  [[nodiscard]] const fib::Ipv6Lpm* fib128_view() const noexcept {
+    return control ? control->fib128.read() : fib128.get();
+  }
+  [[nodiscard]] const fib::XidTable* xid_view() const noexcept {
+    return control ? control->xid.read() : xid_table.get();
+  }
+  [[nodiscard]] const fib::NameFib* names_view() const noexcept {
+    return control ? control->names.read() : nullptr;
+  }
+
+  /// Quiescent-state announcements (no-ops in static configuration). The
+  /// router announces at burst boundaries; pool workers park/resume around
+  /// their idle wait. See dip/ctrl/snapshot.hpp for the protocol.
+  void ctrl_quiesce() const noexcept {
+    if (control && ctrl_reader) control->domain.quiesce(ctrl_reader);
+  }
+  void ctrl_park() const noexcept {
+    if (control && ctrl_reader) ctrl::QsbrDomain::park(ctrl_reader);
+  }
+  void ctrl_resume() const noexcept {
+    if (control && ctrl_reader) control->domain.resume(ctrl_reader);
+  }
   // Strictly per-worker flow state.
   pit::Pit pit;                           ///< used by F_PIT
   std::optional<pit::ContentStore> content_store;  ///< footnote-2 extension

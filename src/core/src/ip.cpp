@@ -4,14 +4,15 @@ namespace dip::core {
 
 bytes::Status Match32Op::execute(OpContext& ctx) {
   if (ctx.field.bit_length != 32) return bytes::Unexpected{bytes::Error::kMalformed};
-  if (ctx.env->fib32 == nullptr) {
+  const fib::Ipv4Lpm* fib = ctx.env->fib32_view();
+  if (fib == nullptr) {
     ctx.result->drop(DropReason::kNoRoute);
     return {};
   }
   const auto value = ctx.target_uint();
   if (!value) return bytes::Unexpected{value.error()};
 
-  const auto nh = ctx.env->fib32->lookup(
+  const auto nh = fib->lookup(
       fib::ipv4_from_u32(static_cast<std::uint32_t>(*value)));
   if (!nh) {
     ctx.result->drop(DropReason::kNoRoute);
@@ -23,7 +24,8 @@ bytes::Status Match32Op::execute(OpContext& ctx) {
 
 bytes::Status Match128Op::execute(OpContext& ctx) {
   if (ctx.field.bit_length != 128) return bytes::Unexpected{bytes::Error::kMalformed};
-  if (ctx.env->fib128 == nullptr) {
+  const fib::Ipv6Lpm* fib = ctx.env->fib128_view();
+  if (fib == nullptr) {
     ctx.result->drop(DropReason::kNoRoute);
     return {};
   }
@@ -38,7 +40,7 @@ bytes::Status Match128Op::execute(OpContext& ctx) {
     }
   }
 
-  const auto nh = ctx.env->fib128->lookup(addr);
+  const auto nh = fib->lookup(addr);
   if (!nh) {
     ctx.result->drop(DropReason::kNoRoute);
     return {};

@@ -131,6 +131,10 @@ void Router::process_batch(std::span<const PacketRef> packets, FaceId ingress,
   if (forwarded != 0) env_.counters.forwarded += forwarded;
   if (dropped != 0) env_.counters.dropped += dropped;
   if (errors != 0) env_.counters.errors += errors;
+
+  // Burst boundary: no snapshot pointers survive past here, so announce a
+  // quiescent state to the control plane (no-op without one).
+  env_.ctrl_quiesce();
 }
 
 void Router::record_trace(const HeaderView& view, FaceId ingress, SimTime now,
@@ -327,8 +331,8 @@ bool Router::run_match(const FnTriple& fn, OpModule* module, HeaderView& view,
     const std::size_t len_bytes = range.bit_length / 8;
     const bool width_ok = (key == OpKey::kMatch32 && len_bytes == 4) ||
                           (key == OpKey::kMatch128 && len_bytes == 16);
-    const fib::Ipv4Lpm* f32 = env_.fib32.get();
-    const fib::Ipv6Lpm* f128 = env_.fib128.get();
+    const fib::Ipv4Lpm* f32 = env_.fib32_view();
+    const fib::Ipv6Lpm* f128 = env_.fib128_view();
     if (width_ok && (key == OpKey::kMatch32 ? f32 != nullptr : f128 != nullptr)) {
       slice = view.locations().subspan(range.bit_offset / 8, len_bytes);
       generation = key == OpKey::kMatch32 ? f32->generation() : f128->generation();

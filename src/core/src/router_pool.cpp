@@ -168,6 +168,10 @@ void RouterPool::worker_main(Worker& w) {
     if (n == 0) {
       if (!running_.load(std::memory_order_acquire)) return;
       {
+        // About to block with no packets in flight: tell the control plane
+        // this reader holds no snapshot pointers, so a parked worker never
+        // stalls grace-period reclamation (no-op without a control plane).
+        w.router->env().ctrl_park();
         std::unique_lock<std::mutex> lk(w.m);
         for (;;) {
           // Republish on every pass: the producer's exchange() may have
@@ -179,6 +183,8 @@ void RouterPool::worker_main(Worker& w) {
         }
         w.parked.store(false, std::memory_order_relaxed);
       }
+      // Re-join the reader protocol before the next table read.
+      w.router->env().ctrl_resume();
       continue;
     }
 

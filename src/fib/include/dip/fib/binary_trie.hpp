@@ -46,6 +46,16 @@ class BinaryTrie final : public LpmTable<W> {
   }
 
  public:
+  BinaryTrie() = default;
+  BinaryTrie(const BinaryTrie& other)
+      : LpmTable<W>(other), size_(other.size_) {
+    copy_subtree(root_, other.root_);
+  }
+
+  [[nodiscard]] std::unique_ptr<LpmTable<W>> clone() const override {
+    return std::make_unique<BinaryTrie>(*this);
+  }
+
   [[nodiscard]] std::optional<NextHop> lookup(const Address<W>& addr) const override {
     std::optional<NextHop> best = root_.next_hop;
     const Node* node = &root_;
@@ -64,6 +74,16 @@ class BinaryTrie final : public LpmTable<W> {
     std::unique_ptr<Node> child[2];
     std::optional<NextHop> next_hop;
   };
+
+  static void copy_subtree(Node& dst, const Node& src) {
+    dst.next_hop = src.next_hop;
+    for (int b = 0; b < 2; ++b) {
+      if (src.child[b]) {
+        dst.child[b] = std::make_unique<Node>();
+        copy_subtree(*dst.child[b], *src.child[b]);
+      }
+    }
+  }
 
   Node root_;
   std::size_t size_ = 0;

@@ -25,9 +25,15 @@ class Dir24 final : public LpmTable<32> {
   static constexpr NextHop kMaxNextHop = (1u << 25) - 1;
 
   Dir24();
+  /// Deep copy (base + extension tables + shadow trie), adopting the
+  /// source's generation via the LpmTable protected copy constructor.
+  Dir24(const Dir24&) = default;
 
   [[nodiscard]] std::optional<NextHop> lookup(const Ipv4Addr& addr) const override;
   [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] std::unique_ptr<LpmTable<32>> clone() const override {
+    return std::make_unique<Dir24>(*this);
+  }
 
  protected:
   std::optional<NextHop> do_insert(Prefix<32> prefix, NextHop nh) override;

@@ -44,6 +44,12 @@ class LpmTable {
   /// Number of routes installed.
   [[nodiscard]] virtual std::size_t size() const = 0;
 
+  /// Deep copy, *inheriting the generation*. The control plane clones the
+  /// live snapshot as the base for a delta build; the applied deltas then
+  /// bump the copy's generation past the original's, so flow-cache entries
+  /// stamped under the old snapshot die when the new one is published.
+  [[nodiscard]] virtual std::unique_ptr<LpmTable<W>> clone() const = 0;
+
   /// Mutation epoch; bumped by every insert/remove (relaxed — readers that
   /// share the table must only mutate it while the data path is quiesced).
   [[nodiscard]] std::uint64_t generation() const noexcept {
@@ -51,6 +57,12 @@ class LpmTable {
   }
 
  protected:
+  LpmTable() = default;
+  /// Copy adopts the source's generation (see clone()); the atomic member
+  /// makes the implicit copy constructor unavailable, so engines' copy
+  /// constructors delegate here.
+  LpmTable(const LpmTable& other) : generation_(other.generation()) {}
+
   virtual std::optional<NextHop> do_insert(Prefix<W> prefix, NextHop nh) = 0;
   virtual std::optional<NextHop> do_remove(Prefix<W> prefix) = 0;
 

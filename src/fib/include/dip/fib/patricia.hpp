@@ -96,6 +96,16 @@ class PatriciaTrie final : public LpmTable<W> {
   }
 
  public:
+  PatriciaTrie() = default;
+  PatriciaTrie(const PatriciaTrie& other)
+      : LpmTable<W>(other), size_(other.size_) {
+    copy_subtree(root_, other.root_);
+  }
+
+  [[nodiscard]] std::unique_ptr<LpmTable<W>> clone() const override {
+    return std::make_unique<PatriciaTrie>(*this);
+  }
+
   [[nodiscard]] std::optional<NextHop> lookup(const Address<W>& addr) const override {
     std::optional<NextHop> best = root_.next_hop;
     const Node* node = &root_;
@@ -118,6 +128,17 @@ class PatriciaTrie final : public LpmTable<W> {
     std::optional<NextHop> next_hop;
     std::unique_ptr<Node> child[2];
   };
+
+  static void copy_subtree(Node& dst, const Node& src) {
+    dst.prefix = src.prefix;
+    dst.next_hop = src.next_hop;
+    for (int b = 0; b < 2; ++b) {
+      if (src.child[b]) {
+        dst.child[b] = std::make_unique<Node>();
+        copy_subtree(*dst.child[b], *src.child[b]);
+      }
+    }
+  }
 
   /// First bit position where the two prefixes differ, capped at the shorter
   /// length.

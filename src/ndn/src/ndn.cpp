@@ -41,11 +41,12 @@ bytes::Status FibOp::execute(OpContext& ctx) {
     return {};
   }
 
-  if (ctx.env->fib32 == nullptr) {
+  const fib::Ipv4Lpm* fib = ctx.env->fib32_view();
+  if (fib == nullptr) {
     ctx.result->drop(DropReason::kNoRoute);
     return {};
   }
-  const auto nh = ctx.env->fib32->lookup(fib::ipv4_from_u32(name_code));
+  const auto nh = fib->lookup(fib::ipv4_from_u32(name_code));
   if (!nh) {
     ctx.result->drop(DropReason::kNoRoute);
     return {};

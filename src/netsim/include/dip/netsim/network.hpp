@@ -84,6 +84,23 @@ class Network {
   [[nodiscard]] std::optional<std::pair<NodeId, FaceId>> peer_of(const Node& node,
                                                                  FaceId face) const;
 
+  /// Faces allocated on `node` so far (control-plane link-state scans
+  /// iterate [0, face_count) and probe link_params per face).
+  [[nodiscard]] std::size_t face_count(NodeId node) const noexcept {
+    return node < faces_.size() ? faces_[node].size() : 0;
+  }
+
+  /// Parameters of the half-link transmitting out of (node, face), or
+  /// nullptr if unconnected/out of range. The control plane reads the
+  /// FaultPlan here to derive link state (FaultPlan::in_blackout is a pure
+  /// function of simulated time, so "is this link dark right now" needs no
+  /// extra event plumbing).
+  [[nodiscard]] const LinkParams* link_params(NodeId node, FaceId face) const {
+    if (node >= faces_.size() || face >= faces_[node].size()) return nullptr;
+    const HalfLink& h = faces_[node][face];
+    return h.connected ? &h.params : nullptr;
+  }
+
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
   [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
 

@@ -144,6 +144,10 @@ class RefNode {
   void add_route32(std::uint32_t addr, std::uint8_t prefix_len, std::uint32_t nh);
   void add_route128(const std::array<std::uint8_t, 16>& addr, std::uint8_t prefix_len,
                     std::uint32_t nh);
+  /// Route withdrawal (exact prefix); no-op if absent. Mirrors the churn
+  /// the conformance harness drives through ctrl::RouteJournal.
+  void remove_route32(std::uint32_t addr, std::uint8_t prefix_len);
+  void remove_route128(const std::array<std::uint8_t, 16>& addr, std::uint8_t prefix_len);
   void add_xid_route(std::uint8_t type, const std::array<std::uint8_t, 20>& xid,
                      std::uint32_t nh);
   void set_xid_local(std::uint8_t type, const std::array<std::uint8_t, 20>& xid);

@@ -245,6 +245,33 @@ void RefNode::add_route128(const std::array<std::uint8_t, 16>& addr,
   fib128_.push_back({canonical, prefix_len, nh});
 }
 
+void RefNode::remove_route32(std::uint32_t addr, std::uint8_t prefix_len) {
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  const std::uint32_t canonical = addr & mask;
+  for (auto it = fib32_.begin(); it != fib32_.end(); ++it) {
+    if (it->addr == canonical && it->len == prefix_len) {
+      fib32_.erase(it);
+      return;
+    }
+  }
+}
+
+void RefNode::remove_route128(const std::array<std::uint8_t, 16>& addr,
+                              std::uint8_t prefix_len) {
+  std::array<std::uint8_t, 16> canonical{};
+  for (std::size_t bit = 0; bit < prefix_len; ++bit) {
+    const std::uint8_t b = addr[bit / 8] & static_cast<std::uint8_t>(0x80 >> (bit % 8));
+    canonical[bit / 8] |= b;
+  }
+  for (auto it = fib128_.begin(); it != fib128_.end(); ++it) {
+    if (it->addr == canonical && it->len == prefix_len) {
+      fib128_.erase(it);
+      return;
+    }
+  }
+}
+
 void RefNode::add_xid_route(std::uint8_t type, const std::array<std::uint8_t, 20>& xid,
                             std::uint32_t nh) {
   xid_routes_[{type, xid}] = nh;

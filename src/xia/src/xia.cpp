@@ -20,11 +20,12 @@ bytes::Status DagOp::execute(OpContext& ctx) {
   const Dag& dag = parsed->dag;
   std::uint8_t cursor = parsed->cursor;
 
-  if (ctx.env->xid_table == nullptr) {
+  const fib::XidTable* xids = ctx.env->xid_view();
+  if (xids == nullptr) {
     ctx.result->drop(DropReason::kNoRoute);
     return {};
   }
-  const fib::XidTable& table = *ctx.env->xid_table;
+  const fib::XidTable& table = *xids;
 
   // Traversal loop. Locally owned nodes are entered without forwarding
   // (cursor advances and their edges are tried next); the DAG is validated
@@ -79,8 +80,8 @@ bytes::Status IntentOp::execute(OpContext& ctx) {
   if (parsed->cursor != dag.intent()) return {};  // not at the intent yet
 
   const DagNode& intent = dag.node(dag.intent());
-  if (ctx.env->xid_table == nullptr ||
-      !ctx.env->xid_table->is_local(intent.type, intent.xid)) {
+  const fib::XidTable* xids = ctx.env->xid_view();
+  if (xids == nullptr || !xids->is_local(intent.type, intent.xid)) {
     return {};  // somebody else's intent; F_DAG already set the egress
   }
 
@@ -102,7 +103,7 @@ bytes::Status IntentOp::execute(OpContext& ctx) {
     case fib::XidType::kHid:
     case fib::XidType::kAd: {
       // Local delivery: hand to the host face registered for the XID.
-      const auto nh = ctx.env->xid_table->lookup(intent.type, intent.xid);
+      const auto nh = xids->lookup(intent.type, intent.xid);
       if (nh) {
         ctx.result->egress.assign(1, *nh);
       } else {

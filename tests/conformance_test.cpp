@@ -231,6 +231,163 @@ TEST(Conformance, DpsBatchStrict) {
 }
 
 // ---------------------------------------------------------------------------
+// 3b. Route churn (ISSUE 5): the same RouteJournal deltas are applied to the
+// production engines (RCU snapshot publishes) and the refmodel mirrors at
+// identical packet indices; verdicts and rewrites must stay byte-identical
+// across scalar/batch/pool, against the oracle AND against each other.
+//
+// The churn stream is match-only (DIP-32/DIP-128): those paths are
+// stateless per packet, so the pool engine's fresh-pool-per-run() worker
+// state is semantically invisible and chunked execution is exact.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kChurnNet = 0x0A800000;  // 10.128.0.0/9
+constexpr std::uint8_t kChurnLen = 9;
+constexpr std::uint32_t kNhChurn = 42;
+
+std::vector<Packet> make_match_stream(std::uint64_t seed, std::size_t count) {
+  crypto::Xoshiro256 rng(seed);
+  std::vector<Packet> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::HeaderBuilder b;
+    b.hop_limit(proptest::gen::live_hops(rng));
+    switch (rng.below(4)) {
+      case 0:
+      case 1:
+        b.add_router_fn(core::OpKey::kMatch32,
+                        proptest::gen::be32(proptest::gen::routable32(rng)));
+        break;
+      case 2:  // unroutable v4 -> kNoRoute both before and after churn
+        b.add_router_fn(core::OpKey::kMatch32,
+                        proptest::gen::be32(0xC0A80000 | (rng.u32() & 0xffff)));
+        break;
+      default: {
+        std::array<std::uint8_t, 16> addr = w::kNet128;
+        for (std::size_t j = 4; j < 16; ++j) {
+          addr[j] = static_cast<std::uint8_t>(rng.u32());
+        }
+        b.add_router_fn(core::OpKey::kMatch128, addr);
+        break;
+      }
+    }
+    out.push_back(proptest::gen::finish(b.build(), {}));
+  }
+  return out;
+}
+
+/// One churn step, applied identically to the journal (production) and to
+/// every refmodel mirror. Even steps withdraw the /10 (uncovering the /8)
+/// and install a fresh /9; odd steps revert.
+void apply_churn(std::size_t step, ctrl::RouteJournal& journal,
+                 std::vector<refmodel::RefNode>& mirrors) {
+  if (step % 2 == 0) {
+    journal.remove_route32({fib::ipv4_from_u32(w::kNet10_64), 10});
+    journal.add_route32({fib::ipv4_from_u32(kChurnNet), kChurnLen}, kNhChurn);
+    for (auto& m : mirrors) {
+      m.remove_route32(w::kNet10_64, 10);
+      m.add_route32(kChurnNet, kChurnLen, kNhChurn);
+    }
+  } else {
+    journal.add_route32({fib::ipv4_from_u32(w::kNet10_64), 10}, w::kNh10_64);
+    journal.remove_route32({fib::ipv4_from_u32(kChurnNet), kChurnLen});
+    for (auto& m : mirrors) {
+      m.add_route32(w::kNet10_64, 10, w::kNh10_64);
+      m.remove_route32(kChurnNet, kChurnLen);
+    }
+  }
+  ASSERT_EQ(journal.flush(), 1u) << "churn step " << step
+                                 << " must publish exactly the fib32 snapshot";
+}
+
+TEST(Conformance, ChurnScheduleStaysConformantAcrossEngines) {
+  constexpr std::size_t kChunks = 8;
+  constexpr std::size_t kChunkLen = 512;  // kBatch-aligned
+  static_assert(kChunkLen % w::kBatch == 0);
+  const auto stream = make_match_stream(kSeed + 8, kChunks * kChunkLen);
+
+  const EngineKind kinds[] = {EngineKind::kScalar, EngineKind::kBatch,
+                              EngineKind::kPool};
+  std::vector<std::vector<VerdictImage>> images(std::size(kinds));
+  std::vector<std::vector<Packet>> rewritten(std::size(kinds));
+
+  for (std::size_t e = 0; e < std::size(kinds); ++e) {
+    const EngineKind kind = kinds[e];
+    SharedTables tables = make_shared_tables();
+    const auto journal = attach_control(tables);
+    const std::shared_ptr<core::OpRegistry> registry = make_registry(false);
+    const auto engine = make_engine(kind, registry.get(),
+                                    make_env_factory(tables),
+                                    core::ValidationMode::kStrict);
+
+    const std::size_t mirror_count = kind == EngineKind::kPool ? kPoolWorkers : 1;
+    std::vector<refmodel::RefNode> mirrors;
+    mirrors.reserve(mirror_count);
+    for (std::size_t i = 0; i < mirror_count; ++i) {
+      mirrors.push_back(make_ref_node(/*lenient=*/false));
+    }
+
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      const std::size_t base = c * kChunkLen;
+      std::vector<Packet> prod(stream.begin() + base,
+                               stream.begin() + base + kChunkLen);
+      std::vector<SimTime> nows(kChunkLen);
+      std::vector<core::FaceId> ingresses(kChunkLen);
+      std::vector<std::size_t> owner(kChunkLen, 0);
+      for (std::size_t i = 0; i < kChunkLen; ++i) {
+        nows[i] = w::now_of(base + i);
+        ingresses[i] = w::ingress_of(base + i);
+        if (kind == EngineKind::kPool) {
+          owner[i] = core::RouterPool::shard_of(stream[base + i], kPoolWorkers);
+        }
+      }
+
+      const auto results = engine->run(prod, nows, ingresses);
+      ASSERT_EQ(results.size(), kChunkLen);
+      for (std::size_t i = 0; i < kChunkLen; ++i) {
+        const VerdictImage got = image_of(results[i]);
+        Packet ref_packet = stream[base + i];
+        const refmodel::RefVerdict rv =
+            mirrors[owner[i]].process(ref_packet, ingresses[i], nows[i]);
+        const VerdictImage want = image_of(rv);
+        ASSERT_EQ(got, want)
+            << name_of(kind) << " diverged from refmodel at packet "
+            << base + i << " (churn chunk " << c << ")\n  production "
+            << to_string(got) << "\n  refmodel   " << to_string(want)
+            << "\n  packet " << dump_packet(stream[base + i]);
+        ASSERT_EQ(prod[i], ref_packet)
+            << name_of(kind) << " rewrite diverged at packet " << base + i;
+        images[e].push_back(got);
+        rewritten[e].push_back(prod[i]);
+        note_production(results[i]);
+      }
+      if (c + 1 < kChunks) apply_churn(c, *journal, mirrors);
+    }
+    for (const auto& m : mirrors) merge_ledger(m.ledger());
+
+    // Every retired snapshot must eventually be reclaimed: with all engine
+    // readers at a burst boundary (run() returned), one more flush() round
+    // drains the backlog.
+    journal->flush();
+    EXPECT_EQ(journal->tables().domain.backlog(), 0u)
+        << name_of(kind) << " left unreclaimed snapshots";
+  }
+
+  // Cross-engine byte identity, verdicts and rewrites alike.
+  for (std::size_t e = 1; e < std::size(kinds); ++e) {
+    ASSERT_EQ(images[0].size(), images[e].size());
+    for (std::size_t i = 0; i < images[0].size(); ++i) {
+      ASSERT_EQ(images[0][i], images[e][i])
+          << "verdicts diverge between scalar and " << name_of(kinds[e])
+          << " at packet " << i << " under identical churn";
+      ASSERT_EQ(rewritten[0][i], rewritten[e][i])
+          << "rewrites diverge between scalar and " << name_of(kinds[e])
+          << " at packet " << i << " under identical churn";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // 4. kOverloadShed — a RouterPool ingress artifact, not a spec path: the
 // refmodel never produces it, so it is covered by a dedicated deterministic
 // test (worker blocked in its completion -> ring fills -> try_submit sheds).

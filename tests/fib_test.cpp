@@ -256,6 +256,143 @@ TEST(Dir24, RejectsOversizedNextHop) {
   EXPECT_FALSE(table.lookup(ipv4_from_u32(0)));
 }
 
+TEST(Dir24, InsertOverwriteSpansBaseBlocks) {
+  // A /14 covers 1024 base-table blocks; overwriting it must report the old
+  // next hop and rewrite every block it expanded into.
+  Dir24 table;
+  const Prefix<32> p{ipv4_from_u32(0x0A000000), 14};
+  EXPECT_FALSE(table.insert(p, 5));
+  EXPECT_EQ(table.insert(p, 6).value(), 5u);
+  EXPECT_EQ(table.size(), 1u);
+  // First, middle, and last covered /24 block all see the new hop.
+  EXPECT_EQ(table.lookup(ipv4_from_u32(0x0A000001)).value(), 6u);
+  EXPECT_EQ(table.lookup(ipv4_from_u32(0x0A020001)).value(), 6u);
+  EXPECT_EQ(table.lookup(ipv4_from_u32(0x0A03FFFF)).value(), 6u);
+  EXPECT_FALSE(table.lookup(ipv4_from_u32(0x0A040000)));  // beyond the /14
+}
+
+TEST(Dir24, OverwriteInsideExtensionBlock) {
+  // Prefixes longer than /24 spill the block into a 256-entry extension;
+  // overwriting one must update only its sub-range.
+  Dir24 table;
+  const Prefix<32> p28{ipv4_from_u32(0x0A000010), 28};  // 10.0.0.16/28
+  table.insert(p28, 1);
+  EXPECT_EQ(table.insert(p28, 2).value(), 1u);
+  EXPECT_EQ(table.lookup(ipv4_from_u32(0x0A000017)).value(), 2u);
+  EXPECT_FALSE(table.lookup(ipv4_from_u32(0x0A000020)));  // outside the /28
+}
+
+TEST(Dir24, ShadowedPrefixSurvivesRemoval) {
+  // A /28 shadows a /26 inside one extension block: removing the /28 must
+  // uncover the /26, not leave a hole (the shadow trie is the source of
+  // truth for refresh_block).
+  Dir24 table;
+  table.insert({ipv4_from_u32(0x0A000000), 26}, 1);  // 10.0.0.0/26: .0-.63
+  table.insert({ipv4_from_u32(0x0A000010), 28}, 2);  // 10.0.0.16/28: .16-.31
+  EXPECT_EQ(table.lookup(ipv4_from_u32(0x0A000012)).value(), 2u);
+  EXPECT_EQ(table.remove({ipv4_from_u32(0x0A000010), 28}).value(), 2u);
+  EXPECT_EQ(table.lookup(ipv4_from_u32(0x0A000012)).value(), 1u);
+  EXPECT_EQ(table.lookup(ipv4_from_u32(0x0A000001)).value(), 1u);
+}
+
+TEST(Dir24, RemoveFallsBackToNextLongestMatch) {
+  // Layered /8, /16, /28 over one address: removals peel down the stack,
+  // exercising both the base-table and extension refresh paths.
+  Dir24 table;
+  const Ipv4Addr probe = ipv4_from_u32(0x0A0A0A05);
+  table.insert({ipv4_from_u32(0x0A000000), 8}, 1);
+  table.insert({ipv4_from_u32(0x0A0A0000), 16}, 2);
+  table.insert({ipv4_from_u32(0x0A0A0A00), 28}, 3);
+  EXPECT_EQ(table.lookup(probe).value(), 3u);
+  EXPECT_EQ(table.remove({ipv4_from_u32(0x0A0A0A00), 28}).value(), 3u);
+  EXPECT_EQ(table.lookup(probe).value(), 2u);
+  EXPECT_EQ(table.remove({ipv4_from_u32(0x0A0A0000), 16}).value(), 2u);
+  EXPECT_EQ(table.lookup(probe).value(), 1u);
+  EXPECT_EQ(table.remove({ipv4_from_u32(0x0A000000), 8}).value(), 1u);
+  EXPECT_FALSE(table.lookup(probe));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+// Property: removal parity across all three engines — install one random
+// route set everywhere, then tear it down in a different random order,
+// checking agreement at every step (the churn pattern src/ctrl/ drives).
+TEST(LpmEngines, RemoveParityAcrossEngines) {
+  BinaryTrie<32> trie;
+  PatriciaTrie<32> patricia;
+  Dir24 dir24;
+  crypto::Xoshiro256 rng(0xD00DF1B);
+
+  std::vector<Prefix<32>> installed;
+  for (int i = 0; i < 300; ++i) {
+    Prefix<32> p{ipv4_from_u32(rng.u32()), static_cast<std::uint8_t>(rng.below(33))};
+    p.normalize();
+    const NextHop nh = static_cast<NextHop>(1 + rng.below(1000));
+    trie.insert(p, nh);
+    patricia.insert(p, nh);
+    dir24.insert(p, nh);
+    installed.push_back(p);
+  }
+  const auto probe_all = [&](const char* stage) {
+    for (int j = 0; j < 64; ++j) {
+      const Ipv4Addr addr = ipv4_from_u32(rng.u32());
+      const auto want = trie.lookup(addr);
+      EXPECT_EQ(patricia.lookup(addr), want) << stage << " patricia diverged";
+      EXPECT_EQ(dir24.lookup(addr), want) << stage << " dir24 diverged";
+    }
+  };
+  probe_all("after install");
+
+  // Tear down in a shuffled order (duplicate prefixes: later removes no-op
+  // identically everywhere).
+  for (std::size_t i = installed.size(); i > 1; --i) {
+    std::swap(installed[i - 1], installed[rng.below(i)]);
+  }
+  for (std::size_t i = 0; i < installed.size(); ++i) {
+    const auto want = trie.remove(installed[i]);
+    EXPECT_EQ(patricia.remove(installed[i]), want);
+    EXPECT_EQ(dir24.remove(installed[i]), want);
+    if (i % 50 == 0) probe_all("mid-teardown");
+  }
+  probe_all("after teardown");
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(patricia.size(), 0u);
+  EXPECT_EQ(dir24.size(), 0u);
+}
+
+// ---------- clone (copy-on-write support for src/ctrl/ snapshots) ----------
+
+TEST_P(LpmEngineTest, CloneIsDeepAndAdoptsGeneration) {
+  table_->insert({ipv4_from_u32(0x0A000000), 8}, 1);
+  table_->insert({ipv4_from_u32(0x0A400000), 10}, 2);
+  const std::uint64_t gen = table_->generation();
+
+  const std::unique_ptr<Ipv4Lpm> copy = table_->clone();
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->generation(), gen) << "clone adopts the source generation";
+  EXPECT_EQ(copy->size(), 2u);
+  EXPECT_EQ(copy->lookup(ipv4_from_u32(0x0A400001)).value(), 2u);
+
+  // Divergence both ways: neither side sees the other's mutations.
+  table_->remove({ipv4_from_u32(0x0A400000), 10});
+  EXPECT_EQ(copy->lookup(ipv4_from_u32(0x0A400001)).value(), 2u);
+  copy->insert({ipv4_from_u32(0x0B000000), 8}, 3);
+  EXPECT_FALSE(table_->lookup(ipv4_from_u32(0x0B000001)));
+
+  // Applied deltas bump the copy past the base — the flow-cache
+  // invalidation contract the control plane's snapshot swap relies on.
+  EXPECT_GT(copy->generation(), gen);
+}
+
+TEST_P(Lpm6EngineTest, CloneIsDeepV6) {
+  const auto addr = parse_ipv6("2001:db8::1").value();
+  table_->insert({addr, 32}, 1);
+  const std::unique_ptr<Ipv6Lpm> copy = table_->clone();
+  EXPECT_EQ(copy->lookup(addr).value(), 1u);
+  table_->remove({addr, 32});
+  EXPECT_FALSE(table_->lookup(addr));
+  EXPECT_EQ(copy->lookup(addr).value(), 1u) << "clone must not share nodes";
+}
+
 // ---------- Name / NameFib ----------
 
 TEST(Name, ParseToString) {

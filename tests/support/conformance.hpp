@@ -14,6 +14,7 @@
 #include "dip/core/engine.hpp"
 #include "dip/core/flow_cache.hpp"
 #include "dip/core/registry.hpp"
+#include "dip/ctrl/journal.hpp"
 #include "dip/netsim/dip_node.hpp"
 #include "dip/qos/dps.hpp"
 #include "dip/refmodel/refmodel.hpp"
@@ -40,11 +41,25 @@ inline std::shared_ptr<core::OpRegistry> make_registry(bool with_dps) {
 }
 
 /// Route tables shared by every engine worker (read-mostly, per env.hpp).
+/// When `control` is set (attach_control), the env factory wires every
+/// worker env to the RCU snapshots instead and the static pointers serve
+/// only as the seed.
 struct SharedTables {
   std::shared_ptr<fib::Ipv4Lpm> fib32;
   std::shared_ptr<fib::Ipv6Lpm> fib128;
   std::shared_ptr<fib::XidTable> xid_table;
+  std::shared_ptr<ctrl::ControlTables> control;
 };
+
+/// Wrap the static tables in control-plane snapshots (seeded from them) and
+/// return the single-writer journal for driving churn.
+inline std::shared_ptr<ctrl::RouteJournal> attach_control(SharedTables& t) {
+  auto tables = std::make_shared<ctrl::ControlTables>();
+  auto journal = std::make_shared<ctrl::RouteJournal>(tables);
+  journal->seed(t.fib32.get(), t.fib128.get(), t.xid_table.get());
+  t.control = tables;
+  return journal;
+}
 
 inline SharedTables make_shared_tables() {
   SharedTables t;
@@ -75,6 +90,10 @@ inline core::EnvFactory make_env_factory(const SharedTables& tables,
     env.fib32 = tables.fib32;
     env.fib128 = tables.fib128;
     env.xid_table = tables.xid_table;
+    if (tables.control) {
+      env.control = tables.control;
+      env.ctrl_reader = tables.control->register_reader();
+    }
     env.pit = pit::Pit(pit::Pit::Config{w::kPitLifetime, w::kPitMaxEntries});
     env.content_store.emplace(w::kContentStoreCapacity);
     env.content_store->insert(w::kCachedName, w::cached_payload());
