@@ -163,6 +163,12 @@ void RouterPool::worker_main(Worker& w) {
   std::vector<PacketRef> refs(config_.max_batch);
   std::vector<ProcessResult> results(config_.max_batch);
 
+  // Join the reader protocol before the first table read: the slot starts
+  // at kIdle, and min_seen_locked() skips kIdle slots, so without this a
+  // first-iteration burst (ring already non-empty at thread start) would
+  // read snapshots a concurrent publish+reclaim is free to delete.
+  w.router->env().ctrl_resume();
+
   for (;;) {
     const std::size_t n = w.ring.pop_bulk({items.data(), items.size()});
     if (n == 0) {

@@ -82,6 +82,11 @@ class QsbrDomain {
   [[nodiscard]] ReaderHandle register_reader() {
     auto slot = std::make_shared<ReaderSlot>();
     std::lock_guard lock(mu_);
+    // Prune slots whose readers tore down, so reader churn against a
+    // long-lived domain (repeated pool restarts) doesn't grow the vector
+    // monotonically. Registration is the natural churn point.
+    std::erase_if(slots_,
+                  [](const std::weak_ptr<ReaderSlot>& w) { return w.expired(); });
     slots_.push_back(slot);
     return slot;
   }

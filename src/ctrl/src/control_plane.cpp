@@ -71,9 +71,26 @@ void ControlPlane::refresh(bool force) {
   auto current = scan_links();
 
   bool changed = force || !have_link_state_;
+  // Links that vanished since the last scan (face torn down) change the
+  // topology even though no key in `current` flips.
+  if (!changed) {
+    for (const auto& [key, usable] : link_state_) {
+      if (!current.contains(key)) {
+        changed = true;
+        break;
+      }
+    }
+  }
   for (const auto& [key, usable] : current) {
     const auto prev = link_state_.find(key);
-    if (prev == link_state_.end() || prev->second == usable) continue;
+    if (prev == link_state_.end()) {
+      // First sighting (a face connected after start()): there is no
+      // up/down transition to account, but routes over it don't exist yet
+      // — recompute or the new link stays unrouted forever.
+      changed = true;
+      continue;
+    }
+    if (prev->second == usable) continue;
     changed = true;
     // Both halves of a physical link transition together (usable is
     // computed symmetrically); account the event once, at the lower-id
@@ -205,6 +222,13 @@ void ControlPlane::recompute() {
 
 void ControlPlane::flush_journals() {
   const SimTime now = net_.now();
+  // This tick runs on the simulator thread — the same thread that drives
+  // every managed node's scalar Router — so each node's sim-thread reader
+  // is between bursts right now and provably holds no snapshot pointers.
+  // Announce quiescence on their behalf: a traffic-idle node otherwise
+  // never quiesces (Router only announces at burst boundaries), pinning
+  // its resume-time version and growing the retired backlog unboundedly.
+  for (const auto& [id, m] : managed_) m.node->env().ctrl_quiesce();
   bool any_dirty = false;
   for (const auto& [id, m] : managed_) any_dirty |= m.journal->dirty();
 
