@@ -2,6 +2,8 @@
 // F_pass/F_cc pay per invocation.
 #include <benchmark/benchmark.h>
 
+#include "bench_guard.hpp"
+
 #include "dip/crypto/aes.hpp"
 #include "dip/crypto/drkey.hpp"
 #include "dip/crypto/even_mansour.hpp"

@@ -1,0 +1,30 @@
+// Release-build guard shared by every bench binary.
+//
+// Benches measure the Release fast path; numbers from a Debug/asserts build
+// look plausible but are meaningless as baselines. The guard aborts at
+// startup on non-Release builds unless the caller explicitly opts in (smoke
+// lanes set DIP_BENCH_ALLOW_DEBUG=1).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dip::bench {
+
+inline const bool release_build_guard = [] {
+#ifndef NDEBUG
+  if (std::getenv("DIP_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::fprintf(stderr,
+                 "bench: refusing to run a non-Release build (assertions "
+                 "enabled). Configure with -DCMAKE_BUILD_TYPE=Release, or set "
+                 "DIP_BENCH_ALLOW_DEBUG=1 for a smoke run.\n");
+    std::abort();
+  }
+  std::fprintf(stderr,
+               "bench: WARNING non-Release build; numbers are not baselines "
+               "(DIP_BENCH_ALLOW_DEBUG set).\n");
+#endif
+  return true;
+}();
+
+}  // namespace dip::bench

@@ -2,6 +2,8 @@
 // and F_PIT (data matching), vs resident table size.
 #include <benchmark/benchmark.h>
 
+#include "bench_guard.hpp"
+
 #include "dip/crypto/random.hpp"
 #include "dip/pit/content_store.hpp"
 #include "dip/pit/pit.hpp"

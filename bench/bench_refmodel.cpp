@@ -6,6 +6,8 @@
 // streams in tests/conformance_test.cpp can affordably get.
 #include <benchmark/benchmark.h>
 
+#include "bench_guard.hpp"
+
 #include <cstring>
 #include <vector>
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_guard.hpp"
 #include "dip/core/ip.hpp"
 #include "dip/core/router.hpp"
 #include "dip/ndn/ndn.hpp"

@@ -105,7 +105,11 @@ int main(int argc, char** argv) {
                    ->serialize();
     }
     if (i % 500 == 499) packet.resize(packet.size() / 2);  // malformed
-    pool.submit(std::move(packet), /*ingress=*/0, /*now=*/i * 100);
+    // Timestamps are block-aligned (one tick per 32-packet burst): workers
+    // split bursts into runs sharing (ingress, now), so per-packet stamps
+    // would degenerate every run to a singleton and keep the wave path —
+    // and its dip_burst_wave_total series below — permanently cold.
+    pool.submit(std::move(packet), /*ingress=*/0, /*now=*/(i / 32) * 3200);
     ++sent;
   }
   pool.drain();

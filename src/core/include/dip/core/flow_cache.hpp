@@ -53,6 +53,45 @@ class FlowCache {
   [[nodiscard]] const Verdict* find(std::span<const std::uint8_t> key,
                                     std::uint64_t generation) noexcept;
 
+  /// Hash a key exactly as find/insert do (never 0). The burst pipeline
+  /// hashes a whole wave up front so slot prefetches overlap the probes.
+  [[nodiscard]] static std::uint64_t hash(std::span<const std::uint8_t> key) noexcept {
+    return hash_key(key);
+  }
+
+  /// Prefetch the slot a hash-`h` probe run starts at.
+  void prefetch(std::uint64_t h) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[static_cast<std::size_t>(h) & mask_], 0, 3);
+#else
+    (void)h;
+#endif
+  }
+
+  /// find() with the hash already computed (h must equal hash(key)).
+  /// Inline: this is the per-packet probe on the burst fast path.
+  [[nodiscard]] const Verdict* find_hashed(std::span<const std::uint8_t> key,
+                                           std::uint64_t h,
+                                           std::uint64_t generation) noexcept {
+    std::size_t at = static_cast<std::size_t>(h) & mask_;
+    for (std::size_t probe = 0; probe < kProbeLimit; ++probe, at = (at + 1) & mask_) {
+      Slot& slot = slots_[at];
+      if (slot.hash == 0) return nullptr;  // empty slot ends the probe run
+      if (slot.hash != h || !key_equals(slot, key)) continue;
+      if (slot.generation != generation) {
+        // Route table changed since this verdict was memoized: the entry
+        // is dead. Erase it so the slot can be refilled (and so a
+        // subsequent insert of the same key does not create a duplicate
+        // further along the run).
+        slot.hash = 0;
+        --entries_;
+        return nullptr;
+      }
+      return &slot.verdict;
+    }
+    return nullptr;
+  }
+
   /// Memoize a verdict computed under `generation`. Overwrites the first
   /// empty/stale slot in the probe run, else evicts the last probed slot.
   void insert(std::span<const std::uint8_t> key, std::uint64_t generation,

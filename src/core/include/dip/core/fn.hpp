@@ -99,9 +99,24 @@ struct FnInfo {
   /// the batch path may relax FN ordering only when every router-side FN in
   /// the packet is order-independent.
   bool order_independent = false;
+  /// Whether executions of this FN on *different packets* commute: the
+  /// module touches only its own packet's bytes/scratch/result, or shared
+  /// state it treats as read-only/memoized (FIB walks, flow-cache fills —
+  /// the cached verdict invariant makes hit/miss ordering unobservable in
+  /// verdicts). Anything that mutates cross-packet state a later packet
+  /// can observe (PIT, content store, DPS buckets, CC estimators) must
+  /// stay in arrival order. This is what licenses the burst pipeline's
+  /// module-major (wave) dispatch; distinct from order_independent, which
+  /// is about FN order *within* one packet.
+  bool burst_commutes = false;
 };
 
 /// Static registry of the FNs this prototype defines.
 [[nodiscard]] std::optional<FnInfo> fn_info(OpKey key) noexcept;
+
+/// Dense burst_commutes lookup — the wave-dispatch classification hot path
+/// (one table load instead of a linear fn_info scan). False for any key
+/// outside the static table: unknown modules are assumed stateful.
+[[nodiscard]] bool op_burst_commutes(OpKey key) noexcept;
 
 }  // namespace dip::core

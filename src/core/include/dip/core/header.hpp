@@ -72,6 +72,33 @@ struct DipHeader {
   [[nodiscard]] static bytes::Result<DipHeader> parse(std::span<const std::uint8_t> data);
 };
 
+/// XOR checksum over the first five basic-header bytes.
+[[nodiscard]] inline std::uint8_t basic_header_checksum(
+    std::span<const std::uint8_t> first5) noexcept {
+  std::uint8_t x = 0xDB;  // domain separator so all-zero headers don't verify
+  for (std::size_t i = 0; i < 5 && i < first5.size(); ++i) x ^= first5[i];
+  return x;
+}
+
+namespace detail {
+
+// packet_param bit layout (see the file comment).
+inline constexpr std::uint16_t kParallelBit = 0x0001;
+inline constexpr std::uint16_t kLocLenShift = 1;
+inline constexpr std::uint16_t kLocLenMask = 0x03ff;
+
+[[nodiscard]] inline std::uint16_t encode_packet_param(const BasicHeader& b) noexcept {
+  return static_cast<std::uint16_t>((b.parallel ? kParallelBit : 0) |
+                                    ((b.loc_len & kLocLenMask) << kLocLenShift));
+}
+
+inline void decode_packet_param(std::uint16_t param, BasicHeader& b) noexcept {
+  b.parallel = (param & kParallelBit) != 0;
+  b.loc_len = static_cast<std::uint16_t>((param >> kLocLenShift) & kLocLenMask);
+}
+
+}  // namespace detail
+
 /// Zero-copy view of a DIP header inside a mutable packet buffer.
 ///
 // The router's fast path: triples are decoded into a small fixed array and
@@ -85,6 +112,50 @@ class HeaderView {
   /// structure and checksum.
   [[nodiscard]] static bytes::Result<HeaderView> bind(std::span<std::uint8_t> packet);
 
+  /// In-place bind: writes the view directly into `out` (no by-value
+  /// return, no second copy into batch scratch — the burst pipeline's
+  /// phase 1a). On error `out` is unspecified. Inline: this runs once per
+  /// packet on the batch fast path.
+  [[nodiscard]] static bytes::Status bind_into(std::span<std::uint8_t> packet,
+                                               HeaderView& v) {
+    v.raw_ = packet;
+
+    if (packet.size() < BasicHeader::kWireSize) {
+      return bytes::Err(bytes::Error::kTruncated);
+    }
+    if (packet[5] != basic_header_checksum(packet.subspan(0, 5))) {
+      return bytes::Err(bytes::Error::kChecksum);
+    }
+    v.basic_.next_header = packet[0];
+    v.basic_.fn_num = packet[1];
+    v.basic_.hop_limit = packet[2];
+    detail::decode_packet_param(
+        static_cast<std::uint16_t>((packet[3] << 8) | packet[4]), v.basic_);
+
+    if (v.basic_.fn_num > kMaxFns) return bytes::Err(bytes::Error::kUnsupported);
+    const std::size_t fns_bytes = v.basic_.fn_num * FnTriple::kWireSize;
+    const std::size_t header_size =
+        BasicHeader::kWireSize + fns_bytes + v.basic_.loc_len;
+    if (packet.size() < header_size) return bytes::Err(bytes::Error::kTruncated);
+
+    for (std::size_t i = 0; i < v.basic_.fn_num; ++i) {
+      const std::size_t off = BasicHeader::kWireSize + i * FnTriple::kWireSize;
+      FnTriple fn;
+      fn.field_loc = static_cast<std::uint16_t>((packet[off] << 8) | packet[off + 1]);
+      fn.field_len =
+          static_cast<std::uint16_t>((packet[off + 2] << 8) | packet[off + 3]);
+      fn.op = static_cast<std::uint16_t>((packet[off + 4] << 8) | packet[off + 5]);
+      if (!bytes::fits(fn.range(), v.basic_.loc_len)) {
+        return bytes::Err(bytes::Error::kMalformed);
+      }
+      v.fns_[i] = fn;
+    }
+    v.fn_count_ = v.basic_.fn_num;
+    v.locations_ = packet.subspan(BasicHeader::kWireSize + fns_bytes, v.basic_.loc_len);
+    v.payload_ = packet.subspan(header_size);
+    return {};
+  }
+
   [[nodiscard]] const BasicHeader& basic() const noexcept { return basic_; }
   [[nodiscard]] std::span<const FnTriple> fns() const noexcept {
     return {fns_.data(), fn_count_};
@@ -95,8 +166,17 @@ class HeaderView {
     return BasicHeader::kWireSize + fn_count_ * FnTriple::kWireSize + locations_.size();
   }
 
-  /// Decrement hop limit in place; false if it hit zero (drop).
-  [[nodiscard]] bool decrement_hop_limit() noexcept;
+  /// Decrement hop limit in place; false if it hit zero (drop). The XOR
+  /// checksum updates incrementally (flip the old byte out, the new in) —
+  /// this runs once per packet on the batch fast path.
+  [[nodiscard]] bool decrement_hop_limit() noexcept {
+    if (basic_.hop_limit == 0) return false;
+    const std::uint8_t before = basic_.hop_limit;
+    --basic_.hop_limit;
+    raw_[2] = basic_.hop_limit;
+    raw_[5] = static_cast<std::uint8_t>(raw_[5] ^ before ^ basic_.hop_limit);
+    return basic_.hop_limit > 0;
+  }
 
  private:
   BasicHeader basic_;
@@ -106,8 +186,5 @@ class HeaderView {
   std::span<std::uint8_t> locations_;  // aliases raw_
   std::span<std::uint8_t> payload_;    // aliases raw_
 };
-
-/// XOR checksum over the first five basic-header bytes.
-[[nodiscard]] std::uint8_t basic_header_checksum(std::span<const std::uint8_t> first5) noexcept;
 
 }  // namespace dip::core

@@ -34,14 +34,17 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "dip/bytes/time.hpp"
+#include "dip/core/burst.hpp"
 #include "dip/core/env.hpp"
 #include "dip/core/header.hpp"
 #include "dip/core/registry.hpp"
 #include "dip/core/verdict.hpp"
+#include "dip/crypto/drkey.hpp"
 
 namespace dip::core {
 
@@ -97,6 +100,19 @@ class Router {
   [[nodiscard]] ValidationMode validation() const noexcept { return validation_; }
   void set_validation(ValidationMode m) noexcept { validation_ = m; }
 
+  /// Module-major (wave) burst dispatch toggle: phase 2 executes each FN
+  /// position across the whole burst, key-grouped, instead of packet by
+  /// packet (DESIGN.md §10). Defaults from the DIP_VECTOR environment knob
+  /// ("0" disables); only the kLoop strategy uses it.
+  [[nodiscard]] bool vector_dispatch() const noexcept { return vector_dispatch_; }
+  void set_vector_dispatch(bool on) noexcept { vector_dispatch_ = on; }
+
+  /// Software-prefetch toggle (header bytes one packet ahead, flow-cache
+  /// slots, FIB root slabs). Defaults from the DIP_PREFETCH environment
+  /// knob ("0" disables).
+  [[nodiscard]] bool prefetch_enabled() const noexcept { return prefetch_; }
+  void set_prefetch(bool on) noexcept { prefetch_ = on; }
+
  private:
   /// Dense module table size; OpKey values live well below this.
   static constexpr std::size_t kModuleTableSize = 64;
@@ -128,6 +144,62 @@ class Router {
   /// structural check; corrupt loc/len triples fail this).
   [[nodiscard]] static bool fns_fit(const HeaderView& view) noexcept;
 
+  /// Phase 2 of process_batch: classify the burst, run eligible packets
+  /// through position-major waves (module-major within each wave), the
+  /// rest through the legacy per-packet path. Accumulates the phase's
+  /// action tallies into the caller's locals.
+  /// `waves_allowed`/`exemplar`/`uniform` carry phase 1's uniform-program
+  /// detection (exemplar == packet count when no packet bound).
+  void dispatch_burst(std::span<const PacketRef> packets, FaceId ingress, SimTime now,
+                      std::span<ProcessResult> results, telemetry::RouterStats* stats,
+                      bool waves_allowed, std::size_t exemplar, bool uniform,
+                      std::uint64_t& forwarded, std::uint64_t& dropped,
+                      std::uint64_t& errors);
+
+  /// Uniform-burst fast plan: every bound packet carries the identical FN
+  /// program (same triples, no parallel bit, <=1 stateful FN), so each
+  /// wave is one whole-burst group in arrival order — no per-packet
+  /// classification and no counting sort. `exemplar` indexes the packet
+  /// whose program stands for the burst.
+  void dispatch_burst_uniform(std::size_t n, FaceId ingress, SimTime now,
+                              std::span<ProcessResult> results,
+                              telemetry::RouterStats* stats, std::size_t exemplar,
+                              std::uint8_t* smp, std::uint8_t* alive,
+                              FnRunState* states, std::uint64_t& forwarded,
+                              std::uint64_t& dropped, std::uint64_t& errors);
+
+  /// Route one same-key wave group to its kernel: the §2.4 unsupported
+  /// handling once per group, then flow-cache match / batched crypto /
+  /// per-item fallback.
+  void wave_group(OpKey key, OpModule* module, std::size_t pos,
+                  const std::uint16_t* items, std::size_t count, FaceId ingress,
+                  SimTime now, FnRunState* states, std::uint8_t* alive,
+                  const std::uint8_t* sampled, std::span<ProcessResult> results);
+
+  // Wave-group kernels (contracts in router.cpp). `items` are packet
+  // indices of one same-key group at FN position `pos`, in arrival order.
+  void wave_match(OpKey key, OpModule* module, std::size_t pos,
+                  const std::uint16_t* items, std::size_t count, FaceId ingress,
+                  SimTime now, FnRunState* states, std::uint8_t* alive,
+                  const std::uint8_t* sampled, std::span<ProcessResult> results);
+  void wave_parm(OpModule* module, std::size_t pos, const std::uint16_t* items,
+                 std::size_t count, FnRunState* states, std::uint8_t* alive,
+                 const std::uint8_t* sampled, std::span<ProcessResult> results,
+                 FaceId ingress, SimTime now);
+  void wave_mac(OpModule* module, std::size_t pos, const std::uint16_t* items,
+                std::size_t count, FnRunState* states, std::uint8_t* alive,
+                const std::uint8_t* sampled, std::span<ProcessResult> results,
+                FaceId ingress, SimTime now);
+  /// Fallback kernel: run each item through run_fn (exact legacy per-FN
+  /// semantics), in arrival order.
+  void wave_run_items(std::size_t pos, const std::uint16_t* items, std::size_t count,
+                      FaceId ingress, SimTime now, FnRunState* states,
+                      std::uint8_t* alive, const std::uint8_t* sampled,
+                      std::span<ProcessResult> results);
+
+  /// Environment boolean knob: unset -> `dflt`, "0" -> false, else true.
+  [[nodiscard]] static bool env_flag(const char* name, bool dflt) noexcept;
+
   void dispatch(HeaderView& view, FaceId ingress, SimTime now, ProcessResult& result);
   void dispatch_loop(HeaderView& view, FaceId ingress, SimTime now,
                      ProcessResult& result);
@@ -156,9 +228,24 @@ class Router {
   std::array<OpModule*, kModuleTableSize> module_table_{};
   std::uint64_t module_epoch_ = ~std::uint64_t{0};
 
+  bool vector_dispatch_ = env_flag("DIP_VECTOR", true);
+  bool prefetch_ = env_flag("DIP_PREFETCH", true);
+
   // Batch scratch, kept across bursts so the steady path never allocates.
   std::vector<HeaderView> views_;
   std::vector<std::uint8_t> bound_;
+
+  /// Per-burst bump arena backing the wave scratch (work items, run states,
+  /// crypto lanes); reset at every burst boundary, so warmed-up bursts
+  /// never touch the heap.
+  BurstArena arena_;
+
+  /// Cached AES schedule for the F_parm wave (K = AES_{node_secret}(sid));
+  /// rebuilt lazily when env_.node_secret changes. Router-local (one per
+  /// pool worker), so caching here is safe where caching inside the
+  /// registry-shared ParmOp module would race.
+  std::optional<crypto::DrKey> drkey_;
+  crypto::Block drkey_secret_{};
   // True while dispatching a packet the stats sampler picked: run_fn then
   // times module execution into env_.stats->fn_ns. Always false when stats
   // are disabled, so the per-FN cost is a single predictable branch.

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <string_view>
-#include <vector>
 
+#include "dip/core/burst.hpp"
 #include "dip/core/fn.hpp"
 
 namespace dip::core {
@@ -39,7 +39,9 @@ struct ProcessResult {
   Action action = Action::kForward;
   DropReason reason = DropReason::kNone;
   /// Egress faces; >1 means replicate (NDN data fan-out to all requesters).
-  std::vector<FaceId> egress;
+  /// Small-inline with retained heap spill (burst.hpp): recycled result
+  /// slots stop allocating once warmed up.
+  EgressList egress;
   /// For kError: which FN could not be honored.
   OpKey offending_key{};
   /// Set by F_FIB on a content-store hit (footnote 2): the node can answer

@@ -12,24 +12,31 @@ namespace {
 // functions of their own field and read-mostly tables. Everything that
 // composes through OpScratch (the OPT chain, EPIC), mutates per-flow state
 // (PIT, DPS buckets), or feeds a later FN's verdict stays order-dependent.
+// The last column is burst_commutes (cross-packet commutation, the wave-
+// dispatch license): true for FNs that touch only their own packet or
+// memoized read-mostly tables (matches, the OPT chain — whose scratch is
+// per-packet even though it is order-dependent *within* the packet, EPIC).
+// False for anything whose shared state a later packet observes: PIT and
+// content store (kFib/kPit, and kDag/kIntent which read the CS), DPS
+// buckets, CC estimators.
 constexpr FnInfo kFnTable[] = {
-    {OpKey::kMatch32, "F_32_match", false, 2, true},
-    {OpKey::kMatch128, "F_128_match", false, 3, true},
-    {OpKey::kSource, "F_source", false, 1, true},
-    {OpKey::kFib, "F_FIB", false, 2, false},
-    {OpKey::kPit, "F_PIT", false, 2, false},
-    {OpKey::kParm, "F_parm", true, 2, false},
-    {OpKey::kMac, "F_MAC", true, 8, false},
-    {OpKey::kMark, "F_mark", true, 2, false},
-    {OpKey::kVer, "F_ver", true, 10, false},
-    {OpKey::kDag, "F_DAG", false, 4, false},
-    {OpKey::kIntent, "F_intent", false, 2, false},
-    {OpKey::kPass, "F_pass", false, 6, false},
-    {OpKey::kTelemetry, "F_int", false, 2, true},
-    {OpKey::kCc, "F_cc", false, 4, false},
-    {OpKey::kDps, "F_dps", false, 3, false},
+    {OpKey::kMatch32, "F_32_match", false, 2, true, true},
+    {OpKey::kMatch128, "F_128_match", false, 3, true, true},
+    {OpKey::kSource, "F_source", false, 1, true, true},
+    {OpKey::kFib, "F_FIB", false, 2, false, false},
+    {OpKey::kPit, "F_PIT", false, 2, false, false},
+    {OpKey::kParm, "F_parm", true, 2, false, true},
+    {OpKey::kMac, "F_MAC", true, 8, false, true},
+    {OpKey::kMark, "F_mark", true, 2, false, true},
+    {OpKey::kVer, "F_ver", true, 10, false, true},
+    {OpKey::kDag, "F_DAG", false, 4, false, false},
+    {OpKey::kIntent, "F_intent", false, 2, false, false},
+    {OpKey::kPass, "F_pass", false, 6, false, true},
+    {OpKey::kTelemetry, "F_int", false, 2, true, true},
+    {OpKey::kCc, "F_cc", false, 4, false, false},
+    {OpKey::kDps, "F_dps", false, 3, false, false},
     // Per-hop verification needs every on-path node, like the OPT chain.
-    {OpKey::kHvf, "F_hvf", true, 6, false},
+    {OpKey::kHvf, "F_hvf", true, 6, false, true},
 };
 
 }  // namespace
@@ -46,6 +53,19 @@ std::optional<FnInfo> fn_info(OpKey key) noexcept {
     if (info.key == key) return info;
   }
   return std::nullopt;
+}
+
+bool op_burst_commutes(OpKey key) noexcept {
+  static constexpr auto kCommutes = [] {
+    std::array<bool, 64> t{};
+    for (const FnInfo& info : kFnTable) {
+      const auto idx = static_cast<std::size_t>(info.key);
+      if (idx < t.size()) t[idx] = info.burst_commutes;
+    }
+    return t;
+  }();
+  const auto idx = static_cast<std::size_t>(key);
+  return idx < kCommutes.size() && kCommutes[idx];
 }
 
 }  // namespace dip::core

@@ -4,30 +4,6 @@
 
 namespace dip::core {
 
-namespace {
-
-constexpr std::uint16_t kParallelBit = 0x0001;
-constexpr std::uint16_t kLocLenShift = 1;
-constexpr std::uint16_t kLocLenMask = 0x03ff;
-
-[[nodiscard]] std::uint16_t encode_param(const BasicHeader& b) noexcept {
-  return static_cast<std::uint16_t>((b.parallel ? kParallelBit : 0) |
-                                    ((b.loc_len & kLocLenMask) << kLocLenShift));
-}
-
-void decode_param(std::uint16_t param, BasicHeader& b) noexcept {
-  b.parallel = (param & kParallelBit) != 0;
-  b.loc_len = static_cast<std::uint16_t>((param >> kLocLenShift) & kLocLenMask);
-}
-
-}  // namespace
-
-std::uint8_t basic_header_checksum(std::span<const std::uint8_t> first5) noexcept {
-  std::uint8_t x = 0xDB;  // domain separator so all-zero headers don't verify
-  for (std::size_t i = 0; i < 5 && i < first5.size(); ++i) x ^= first5[i];
-  return x;
-}
-
 bytes::Status DipHeader::serialize(std::span<std::uint8_t> out) const {
   if (fns.size() > 255) return bytes::Unexpected{bytes::Error::kOverflow};
   if (locations.size() > BasicHeader::kMaxLocLen) {
@@ -42,7 +18,7 @@ bytes::Status DipHeader::serialize(std::span<std::uint8_t> out) const {
   if (auto st = w.u8(b.next_header); !st) return st;
   if (auto st = w.u8(b.fn_num); !st) return st;
   if (auto st = w.u8(b.hop_limit); !st) return st;
-  if (auto st = w.u16(encode_param(b)); !st) return st;
+  if (auto st = w.u16(detail::encode_packet_param(b)); !st) return st;
   if (auto st = w.u8(basic_header_checksum(w.written())); !st) return st;
 
   for (const FnTriple& fn : fns) {
@@ -80,7 +56,7 @@ bytes::Result<DipHeader> DipHeader::parse(std::span<const std::uint8_t> data) {
   h.basic.next_header = *next_header;
   h.basic.fn_num = *fn_num;
   h.basic.hop_limit = *hop_limit;
-  decode_param(*param, h.basic);
+  detail::decode_packet_param(*param, h.basic);
 
   h.fns.reserve(h.basic.fn_num);
   for (std::uint8_t i = 0; i < h.basic.fn_num; ++i) {
@@ -106,45 +82,8 @@ bytes::Result<DipHeader> DipHeader::parse(std::span<const std::uint8_t> data) {
 
 bytes::Result<HeaderView> HeaderView::bind(std::span<std::uint8_t> packet) {
   HeaderView v;
-  v.raw_ = packet;
-
-  if (packet.size() < BasicHeader::kWireSize) return bytes::Err(bytes::Error::kTruncated);
-  if (packet[5] != basic_header_checksum(packet.subspan(0, 5))) {
-    return bytes::Err(bytes::Error::kChecksum);
-  }
-  v.basic_.next_header = packet[0];
-  v.basic_.fn_num = packet[1];
-  v.basic_.hop_limit = packet[2];
-  decode_param(static_cast<std::uint16_t>((packet[3] << 8) | packet[4]), v.basic_);
-
-  if (v.basic_.fn_num > kMaxFns) return bytes::Err(bytes::Error::kUnsupported);
-  const std::size_t fns_bytes = v.basic_.fn_num * FnTriple::kWireSize;
-  const std::size_t header_size = BasicHeader::kWireSize + fns_bytes + v.basic_.loc_len;
-  if (packet.size() < header_size) return bytes::Err(bytes::Error::kTruncated);
-
-  for (std::size_t i = 0; i < v.basic_.fn_num; ++i) {
-    const std::size_t off = BasicHeader::kWireSize + i * FnTriple::kWireSize;
-    FnTriple fn;
-    fn.field_loc = static_cast<std::uint16_t>((packet[off] << 8) | packet[off + 1]);
-    fn.field_len = static_cast<std::uint16_t>((packet[off + 2] << 8) | packet[off + 3]);
-    fn.op = static_cast<std::uint16_t>((packet[off + 4] << 8) | packet[off + 5]);
-    if (!bytes::fits(fn.range(), v.basic_.loc_len)) {
-      return bytes::Err(bytes::Error::kMalformed);
-    }
-    v.fns_[i] = fn;
-  }
-  v.fn_count_ = v.basic_.fn_num;
-  v.locations_ = packet.subspan(BasicHeader::kWireSize + fns_bytes, v.basic_.loc_len);
-  v.payload_ = packet.subspan(header_size);
+  if (auto st = bind_into(packet, v); !st) return bytes::Err(st.error());
   return v;
-}
-
-bool HeaderView::decrement_hop_limit() noexcept {
-  if (basic_.hop_limit == 0) return false;
-  --basic_.hop_limit;
-  raw_[2] = basic_.hop_limit;
-  raw_[5] = basic_header_checksum(raw_.subspan(0, 5));
-  return basic_.hop_limit > 0;
 }
 
 }  // namespace dip::core

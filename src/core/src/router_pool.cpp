@@ -1,5 +1,6 @@
 #include "dip/core/router_pool.hpp"
 
+#include <algorithm>
 #include <thread>
 
 namespace dip::core {
@@ -267,6 +268,9 @@ void RouterPool::write_stats(telemetry::StatsWriter& w) const {
   std::array<telemetry::HistogramSnapshot, telemetry::RouterStats::kOpKeySlots> fn{};
   std::uint64_t sampled = 0;
   std::uint64_t trace_dropped = 0;
+  std::uint64_t burst_packets = 0, burst_bound = 0, burst_wave = 0,
+                burst_legacy = 0;
+  std::uint64_t arena_high_water = 0, arena_capacity = 0;
   bool any_stats = false;
   for (const auto& worker : workers_) {
     const telemetry::RouterStats* stats = worker->router->env().stats.get();
@@ -278,6 +282,12 @@ void RouterPool::write_stats(telemetry::StatsWriter& w) const {
     for (std::size_t k = 0; k < fn.size(); ++k) fn[k] += stats->fn_ns[k].snapshot();
     sampled += stats->trace.pushed();
     trace_dropped += stats->trace.dropped();
+    burst_packets += stats->burst_packets.load();
+    burst_bound += stats->burst_bound.load();
+    burst_wave += stats->burst_wave.load();
+    burst_legacy += stats->burst_legacy.load();
+    arena_high_water = std::max(arena_high_water, stats->arena_high_water.load());
+    arena_capacity += stats->arena_capacity.load();
   }
   if (any_stats) {
     const telemetry::Label bind_l[] = {{"phase", "bind"}};
@@ -293,6 +303,16 @@ void RouterPool::write_stats(telemetry::StatsWriter& w) const {
     }
     w.counter("dip_trace_sampled_total", {}, sampled);
     w.counter("dip_trace_dropped_total", {}, trace_dropped);
+    // Burst-pipeline occupancy and arena footprint (fleet: counters sum,
+    // high-water takes the max across workers, capacity sums the retained
+    // per-worker reserves).
+    w.counter("dip_burst_packets_total", {}, burst_packets);
+    w.counter("dip_burst_bound_total", {}, burst_bound);
+    w.counter("dip_burst_wave_total", {}, burst_wave);
+    w.counter("dip_burst_legacy_total", {}, burst_legacy);
+    w.gauge("dip_arena_high_water_bytes", {},
+            static_cast<double>(arena_high_water));
+    w.gauge("dip_arena_capacity_bytes", {}, static_cast<double>(arena_capacity));
   }
 
   // Per-worker series: the fleet counters above are exactly the sum of

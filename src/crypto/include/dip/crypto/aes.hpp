@@ -33,6 +33,13 @@ class Aes128 {
   /// Encrypt one block in place.
   void encrypt(Block& block) const noexcept;
 
+  /// Encrypt `n` blocks in place under this key, up to kMaxLanes in flight:
+  /// every round is applied across the whole strip before the next round
+  /// starts, so the per-block work interleaves (straight-line ILP on the
+  /// portable path, one hardware AES round per lane under DIP_SIMD_CRYPTO).
+  /// Bitwise identical to calling encrypt() n times.
+  void encrypt_blocks(Block* blocks, std::size_t n) const noexcept;
+
   /// Decrypt one block in place.
   void decrypt(Block& block) const noexcept;
 
@@ -42,12 +49,24 @@ class Aes128 {
     return block;
   }
 
+  /// Multi-block strip width: how many blocks encrypt_blocks keeps in
+  /// flight per pass (8 covers the burst MAC batch and the AES-NI pipeline
+  /// depth without spilling the portable path's working set).
+  static constexpr std::size_t kMaxLanes = 8;
+
  private:
   void expand_key(const Block& key) noexcept;
 
   // Round keys: (kRounds + 1) * 16 bytes.
   std::array<std::uint8_t, (kRounds + 1) * kBlockSize> round_keys_{};
 };
+
+/// Free-function spelling of Aes128::encrypt_blocks (the burst-pipeline
+/// entry point; see DESIGN.md §10).
+inline void aes128_encrypt_blocks(const Aes128& cipher, Block* blocks,
+                                  std::size_t n) noexcept {
+  cipher.encrypt_blocks(blocks, n);
+}
 
 /// XOR two blocks: a ^= b.
 inline void block_xor(Block& a, const Block& b) noexcept {

@@ -31,6 +31,15 @@ class DrKey {
     return prf_.encrypt_copy(session);
   }
 
+  /// Derive many sessions' keys under the one node secret, multi-block
+  /// (the burst pipeline's F_parm wave: one key schedule, lockstep rounds).
+  /// `out[i] = derive(sessions[i])`.
+  void derive_blocks(const SessionId* sessions, Block* out,
+                     std::size_t n) const noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sessions[i];
+    prf_.encrypt_blocks(out, n);
+  }
+
  private:
   Aes128 prf_;
 };

@@ -29,6 +29,20 @@ class EvenMansour2 {
   /// Encrypt one block in place.
   void encrypt(Block& block) const noexcept;
 
+  /// Encrypt `n` blocks in place under this instance's whitening keys,
+  /// with the shared P1/P2 permutations run multi-block (Aes128::
+  /// encrypt_blocks). Bitwise identical to n encrypt() calls.
+  void encrypt_blocks(Block* blocks, std::size_t n) const noexcept;
+
+  /// Encrypt block i under ciphers[i]'s whitening keys, all lanes in
+  /// lockstep. Because P1/P2 are fixed *public* permutations shared by
+  /// every 2EM instance, blocks whitened under different keys still ride
+  /// the same two multi-block AES passes — this is what lets the burst
+  /// pipeline MAC many packets (each with its own derived key) at once.
+  static void encrypt_blocks_multi(Block* blocks,
+                                   const EvenMansour2* const* ciphers,
+                                   std::size_t n) noexcept;
+
   /// Decrypt one block in place (P1/P2 inverted via AES decryption).
   void decrypt(Block& block) const noexcept;
 

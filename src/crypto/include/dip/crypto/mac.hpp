@@ -99,6 +99,22 @@ class Em2Mac final : public Mac {
   EvenMansour2 cipher_;
 };
 
+/// One message of a two_em_mac_blocks batch.
+struct MacBatchItem {
+  Block key;                           ///< 2EM master (whitening) key
+  std::span<const std::uint8_t> data;  ///< covered bytes
+  Block* out;                          ///< where the 128-bit tag lands
+};
+
+/// Batch CMAC-over-2EM: computes Em2Mac(items[i].key).compute(items[i].data)
+/// for every item, bit-identical, but runs the chaining in lockstep across
+/// up to Aes128::kMaxLanes messages at a time. P1/P2 are shared public
+/// permutations, so lanes whitened under *different* derived keys still
+/// share each multi-block AES pass; consecutive items with the same key
+/// also share the key-schedule work. Lanes are cut at message-length
+/// boundaries (a lockstep strip needs a uniform block count).
+void two_em_mac_blocks(std::span<const MacBatchItem> items);
+
 /// Which MAC primitive a node uses for F_MAC.
 enum class MacKind : std::uint8_t { kEm2, kAesCmac };
 

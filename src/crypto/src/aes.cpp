@@ -1,6 +1,19 @@
 #include "dip/crypto/aes.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+// DIP_SIMD_CRYPTO (cmake option, default OFF): hardware AES rounds for the
+// encrypt paths. The portable byte-oriented code below stays compiled and
+// remains the oracle — the known-answer vectors in tests/crypto_test pin
+// both builds to the same outputs.
+#if defined(DIP_SIMD_CRYPTO) && defined(__AES__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define DIP_AESNI 1
+#include <wmmintrin.h>
+#else
+#define DIP_AESNI 0
+#endif
 
 namespace dip::crypto {
 
@@ -51,6 +64,31 @@ inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) noexcept {
   return p;
 }
 
+// One-block round primitives shared by the single- and multi-block encrypt
+// paths (state is column-major, s[col*4 + row]).
+inline void add_round_key(Block& s, const std::uint8_t* rk) noexcept {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+inline void sub_shift(Block& s) noexcept {
+  // SubBytes + ShiftRows fused: row r rotates left by r.
+  Block t = s;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) s[c * 4 + r] = kSbox[t[((c + r) % 4) * 4 + r]];
+  }
+}
+
+inline void mix_columns(Block& s) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = &s[c * 4];
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
 }  // namespace
 
 void Aes128::expand_key(const Block& key) noexcept {
@@ -73,40 +111,66 @@ void Aes128::expand_key(const Block& key) noexcept {
 }
 
 void Aes128::encrypt(Block& s) const noexcept {
-  auto add_round_key = [&](int round) {
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
-  };
-  auto sub_bytes = [&] {
-    for (auto& b : s) b = kSbox[b];
-  };
-  auto shift_rows = [&] {
-    // Row r rotates left by r; state is column-major (s[col*4 + row]).
-    Block t = s;
-    for (int r = 1; r < 4; ++r) {
-      for (int c = 0; c < 4; ++c) s[c * 4 + r] = t[((c + r) % 4) * 4 + r];
-    }
-  };
-  auto mix_columns = [&] {
-    for (int c = 0; c < 4; ++c) {
-      std::uint8_t* col = &s[c * 4];
-      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-      col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-      col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-      col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-      col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-    }
-  };
-
-  add_round_key(0);
+#if DIP_AESNI
+  encrypt_blocks(&s, 1);
+#else
+  add_round_key(s, round_keys_.data());
   for (int round = 1; round < kRounds; ++round) {
-    sub_bytes();
-    shift_rows();
-    mix_columns();
-    add_round_key(round);
+    sub_shift(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
   }
-  sub_bytes();
-  shift_rows();
-  add_round_key(kRounds);
+  sub_shift(s);
+  add_round_key(s, round_keys_.data() + 16 * kRounds);
+#endif
+}
+
+void Aes128::encrypt_blocks(Block* blocks, std::size_t n) const noexcept {
+#if DIP_AESNI
+  __m128i rk[kRounds + 1];
+  for (int r = 0; r <= kRounds; ++r) {
+    rk[r] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_keys_.data() + 16 * r));
+  }
+  for (std::size_t base = 0; base < n; base += kMaxLanes) {
+    const std::size_t lanes = std::min(kMaxLanes, n - base);
+    __m128i s[kMaxLanes];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      s[l] = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks[base + l].data())),
+          rk[0]);
+    }
+    for (int r = 1; r < kRounds; ++r) {
+      for (std::size_t l = 0; l < lanes; ++l) s[l] = _mm_aesenc_si128(s[l], rk[r]);
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      s[l] = _mm_aesenclast_si128(s[l], rk[kRounds]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(blocks[base + l].data()), s[l]);
+    }
+  }
+#else
+  // Round-major over a strip of lanes: the per-lane chains are independent
+  // inside each round, so the out-of-order engine overlaps them — the
+  // "straight-line interleaved rounds" structure without hardware AES.
+  for (std::size_t base = 0; base < n; base += kMaxLanes) {
+    const std::size_t lanes = std::min(kMaxLanes, n - base);
+    Block* s = blocks + base;
+    for (std::size_t l = 0; l < lanes; ++l) add_round_key(s[l], round_keys_.data());
+    for (int round = 1; round < kRounds; ++round) {
+      const std::uint8_t* rk = round_keys_.data() + 16 * round;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        sub_shift(s[l]);
+        mix_columns(s[l]);
+        add_round_key(s[l], rk);
+      }
+    }
+    const std::uint8_t* rk_last = round_keys_.data() + 16 * kRounds;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      sub_shift(s[l]);
+      add_round_key(s[l], rk_last);
+    }
+  }
+#endif
 }
 
 void Aes128::decrypt(Block& s) const noexcept {

@@ -42,6 +42,24 @@ void EvenMansour2::encrypt(Block& block) const noexcept {
   block_xor(block, k2_);
 }
 
+void EvenMansour2::encrypt_blocks(Block* blocks, std::size_t n) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) block_xor(blocks[i], k0_);
+  perm1().encrypt_blocks(blocks, n);
+  for (std::size_t i = 0; i < n; ++i) block_xor(blocks[i], k1_);
+  perm2().encrypt_blocks(blocks, n);
+  for (std::size_t i = 0; i < n; ++i) block_xor(blocks[i], k2_);
+}
+
+void EvenMansour2::encrypt_blocks_multi(Block* blocks,
+                                        const EvenMansour2* const* ciphers,
+                                        std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) block_xor(blocks[i], ciphers[i]->k0_);
+  perm1().encrypt_blocks(blocks, n);
+  for (std::size_t i = 0; i < n; ++i) block_xor(blocks[i], ciphers[i]->k1_);
+  perm2().encrypt_blocks(blocks, n);
+  for (std::size_t i = 0; i < n; ++i) block_xor(blocks[i], ciphers[i]->k2_);
+}
+
 void EvenMansour2::decrypt(Block& block) const noexcept {
   block_xor(block, k2_);
   perm2().decrypt(block);

@@ -1,5 +1,7 @@
 #include "dip/crypto/mac.hpp"
 
+#include <optional>
+
 namespace dip::crypto {
 
 namespace detail {
@@ -16,6 +18,73 @@ Block gf128_double(const Block& in) noexcept {
 }
 
 }  // namespace detail
+
+void two_em_mac_blocks(std::span<const MacBatchItem> items) {
+  constexpr std::size_t kLanes = Aes128::kMaxLanes;
+  std::size_t i = 0;
+  while (i < items.size()) {
+    // A strip: up to kLanes consecutive messages of equal length (lockstep
+    // chaining needs a uniform block count across the strip).
+    const std::size_t len = items[i].data.size();
+    std::size_t lanes = 1;
+    while (lanes < kLanes && i + lanes < items.size() &&
+           items[i + lanes].data.size() == len) {
+      ++lanes;
+    }
+
+    // Per-lane ciphers; a lane whose key matches the previous lane's reuses
+    // its neighbour's key schedule (one session -> one schedule per strip).
+    std::optional<EvenMansour2> built[kLanes];
+    const EvenMansour2* cipher[kLanes];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (l > 0 && items[i + l].key == items[i + l - 1].key) {
+        cipher[l] = cipher[l - 1];
+      } else {
+        built[l].emplace(items[i + l].key);
+        cipher[l] = &*built[l];
+      }
+    }
+
+    // Subkeys K1/K2 from E(0), one multi-key pass for the whole strip.
+    Block sub1[kLanes] = {};
+    Block sub2[kLanes];
+    EvenMansour2::encrypt_blocks_multi(sub1, cipher, lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      sub1[l] = detail::gf128_double(sub1[l]);
+      sub2[l] = detail::gf128_double(sub1[l]);
+    }
+
+    // The RFC 4493 chain, every block index across all lanes at once.
+    const std::size_t full_blocks = len == 0 ? 0 : (len - 1) / 16;
+    Block x[kLanes] = {};
+    for (std::size_t b = 0; b < full_blocks; ++b) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const Block m = block_from(items[i + l].data.subspan(b * 16, 16));
+        block_xor(x[l], m);
+      }
+      EvenMansour2::encrypt_blocks_multi(x, cipher, lanes);
+    }
+    const std::size_t tail = len - full_blocks * 16;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      Block last{};
+      if (len > 0 && tail == 16) {
+        last = block_from(items[i + l].data.subspan(full_blocks * 16, 16));
+        block_xor(last, sub1[l]);
+      } else {
+        for (std::size_t t = 0; t < tail; ++t) {
+          last[t] = items[i + l].data[full_blocks * 16 + t];
+        }
+        last[tail] = 0x80;
+        block_xor(last, sub2[l]);
+      }
+      block_xor(x[l], last);
+    }
+    EvenMansour2::encrypt_blocks_multi(x, cipher, lanes);
+
+    for (std::size_t l = 0; l < lanes; ++l) *items[i + l].out = x[l];
+    i += lanes;
+  }
+}
 
 std::unique_ptr<Mac> make_mac(MacKind kind, const Block& key) {
   switch (kind) {

@@ -28,7 +28,11 @@ std::array<std::uint8_t, kHvfBytes> hop_tag(const crypto::Block& key,
   std::memcpy(input.data(), block.data(), 36);  // hash | session | ts
   input[36] = hop;
   input[37] = flavor;
-  const crypto::Block mac = crypto::make_mac(kind, key)->compute(input);
+  // Stack-constructed MAC: F_hvf runs twice per packet on the router fast
+  // path, so the make_mac heap allocation is avoided.
+  const crypto::Block mac = kind == crypto::MacKind::kEm2
+                                ? crypto::Em2Mac(key).compute(input)
+                                : crypto::AesCmac(key).compute(input);
   std::array<std::uint8_t, kHvfBytes> out{};
   std::memcpy(out.data(), mac.data(), kHvfBytes);
   return out;

@@ -41,6 +41,11 @@ class LpmTable {
   /// Longest-prefix match.
   [[nodiscard]] virtual std::optional<NextHop> lookup(const Address<W>& addr) const = 0;
 
+  /// Hint that lookup(addr) is imminent: engines with a predictable first
+  /// touch (DIR-24-8's base slab) pull it into cache; default is a no-op.
+  /// The burst pipeline issues these one packet ahead on flow-cache misses.
+  virtual void prefetch(const Address<W>& addr) const noexcept { (void)addr; }
+
   /// Number of routes installed.
   [[nodiscard]] virtual std::size_t size() const = 0;
 

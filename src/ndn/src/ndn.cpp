@@ -71,7 +71,7 @@ bytes::Status PitOp::execute(OpContext& ctx) {
   if (ctx.env->content_store) {
     ctx.env->content_store->insert(name_code, ctx.payload);
   }
-  ctx.result->egress = std::move(faces);
+  ctx.result->egress.assign(faces.begin(), faces.end());
   return {};
 }
 

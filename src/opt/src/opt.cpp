@@ -32,8 +32,13 @@ bytes::Status MacOp::execute(OpContext& ctx) {
   const auto covered = ctx.target_bytes();
   if (covered.empty()) return bytes::Unexpected{bytes::Error::kMalformed};
 
-  const auto mac = crypto::make_mac(ctx.env->mac_kind, *ctx.scratch->dynamic_key);
-  ctx.scratch->mac = mac->compute(covered);
+  // Stack-constructed primitive: F_MAC sits on the per-packet fast path and
+  // must not allocate (make_mac news a Mac per call).
+  if (ctx.env->mac_kind == crypto::MacKind::kEm2) {
+    ctx.scratch->mac = crypto::Em2Mac(*ctx.scratch->dynamic_key).compute(covered);
+  } else {
+    ctx.scratch->mac = crypto::AesCmac(*ctx.scratch->dynamic_key).compute(covered);
+  }
   return {};
 }
 

@@ -48,6 +48,33 @@ class RelaxedCounter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// A monotone high-water gauge: record() keeps the maximum ever seen.
+/// Relaxed-atomic with the same copy semantics as RelaxedCounter.
+class MaxGauge {
+ public:
+  constexpr MaxGauge() noexcept = default;
+  MaxGauge(const MaxGauge& other) noexcept : value_(other.load()) {}
+  MaxGauge& operator=(const MaxGauge& other) noexcept {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return load(); }
+
+  void record(std::uint64_t v) noexcept {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
 /// Plain-integer image of one RouterCounters block (or a sum of several).
 struct CounterSnapshot {
   std::uint64_t processed = 0;

@@ -178,6 +178,14 @@ inline void write_router_stats(StatsWriter& w, const RouterStats& stats,
   }
   w.counter("dip_trace_sampled_total", base, stats.trace.pushed());
   w.counter("dip_trace_dropped_total", base, stats.trace.dropped());
+  w.counter("dip_burst_packets_total", base, stats.burst_packets.load());
+  w.counter("dip_burst_bound_total", base, stats.burst_bound.load());
+  w.counter("dip_burst_wave_total", base, stats.burst_wave.load());
+  w.counter("dip_burst_legacy_total", base, stats.burst_legacy.load());
+  w.gauge("dip_arena_high_water_bytes", base,
+          static_cast<double>(stats.arena_high_water.load()));
+  w.gauge("dip_arena_capacity_bytes", base,
+          static_cast<double>(stats.arena_capacity.load()));
 }
 
 /// Named render callbacks composing one exposition page. Registration is

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "dip/telemetry/counters.hpp"
 #include "dip/telemetry/histogram.hpp"
 #include "dip/telemetry/trace_ring.hpp"
 
@@ -60,6 +61,18 @@ struct RouterStats {
   /// Module execution wall ns per operation key (sampled packets only).
   std::array<LatencyHistogram, kOpKeySlots> fn_ns{};
   TraceRing trace;
+
+  // ---- burst-pipeline gauges (dip_burst_* / dip_arena_*) -----------------
+  // Per-phase burst occupancy: how many packets entered phase 1a, survived
+  // bind+validate into phase 2, and which dispatch path phase 2 took.
+  RelaxedCounter burst_packets;  ///< packets entering phase 1a (bind)
+  RelaxedCounter burst_bound;    ///< packets entering phase 2 (dispatch)
+  RelaxedCounter burst_wave;     ///< phase-2 packets on the wave path
+  RelaxedCounter burst_legacy;   ///< phase-2 packets on the per-packet path
+  /// Burst-arena footprint (bytes): peak demand of any one burst, and the
+  /// retained chunk-chain reserve (monotone; the arena never shrinks).
+  MaxGauge arena_high_water;
+  MaxGauge arena_capacity;
 
   // ---- samplers (worker-thread only) ------------------------------------
   Sampler packet_sampler;

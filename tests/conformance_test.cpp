@@ -49,10 +49,11 @@ const char* name_of(EngineKind k) {
 std::unique_ptr<core::RouterEngine> make_engine(EngineKind kind,
                                                 const core::OpRegistry* registry,
                                                 const core::EnvFactory& envf,
-                                                core::ValidationMode mode) {
+                                                core::ValidationMode mode,
+                                                std::size_t batch_size = w::kBatch) {
   core::EngineConfig cfg;
   cfg.validation = mode;
-  cfg.batch_size = w::kBatch;
+  cfg.batch_size = batch_size;
   cfg.pool_workers = kPoolWorkers;
   switch (kind) {
     case EngineKind::kScalar: return core::make_scalar_engine(registry, envf, cfg);
@@ -91,18 +92,25 @@ void merge_ledger(const refmodel::RefLedger& l) {
 /// assert byte- and verdict-identical behaviour packet by packet. For the
 /// pool engine the oracle is one RefNode per worker, mirrored through the
 /// same flow-affine shard function the pool uses.
+/// `burst` overrides the batch engine's burst size (default: the
+/// generator's kBatch alignment). Per the EngineConfig contract, nows and
+/// ingresses are held constant within each burst-aligned block — the block
+/// head's values — so the refmodel mirror sees exactly what the burst saw.
 void run_stream_conformance(EngineKind kind, core::ValidationMode mode,
-                            std::vector<Packet> stream, bool with_dps = false) {
+                            std::vector<Packet> stream, bool with_dps = false,
+                            std::size_t burst = w::kBatch) {
   const SharedTables tables = make_shared_tables();
   const std::shared_ptr<core::OpRegistry> registry = make_registry(with_dps);
-  const auto engine = make_engine(kind, registry.get(), make_env_factory(tables), mode);
+  const auto engine =
+      make_engine(kind, registry.get(), make_env_factory(tables), mode, burst);
 
   const std::size_t n = stream.size();
   std::vector<SimTime> nows(n);
   std::vector<core::FaceId> ingresses(n);
   for (std::size_t i = 0; i < n; ++i) {
-    nows[i] = w::now_of(i);
-    ingresses[i] = w::ingress_of(i);
+    const std::size_t head = (i / burst) * burst;
+    nows[i] = w::now_of(head);
+    ingresses[i] = w::ingress_of(head);
   }
 
   // Refmodel mirrors: shard exactly as the pool does (pre-submit bytes).
@@ -200,6 +208,30 @@ TEST(Conformance, BatchStrict) {
 TEST(Conformance, BatchLenient) {
   run_stream_conformance(EngineKind::kBatch, core::ValidationMode::kLenient,
                          proptest::gen::make_conformance_stream(kSeed + 3, kStreamLen));
+}
+
+// Odd burst shapes against the refmodel oracle: a singleton (stays on the
+// per-packet path), sizes off the crypto strip width and the counting-sort
+// edges (3, 7), and one past the bench's 32-wide shape (33). Strict and
+// lenient both.
+TEST(Conformance, BatchOddBurstShapesStrict) {
+  std::uint64_t salt = 20;
+  for (const std::size_t burst : {1, 3, 7, 33}) {
+    run_stream_conformance(
+        EngineKind::kBatch, core::ValidationMode::kStrict,
+        proptest::gen::make_conformance_stream(kSeed + salt++, kStreamLen / 4),
+        /*with_dps=*/false, burst);
+  }
+}
+
+TEST(Conformance, BatchOddBurstShapesLenient) {
+  std::uint64_t salt = 30;
+  for (const std::size_t burst : {1, 3, 7, 33}) {
+    run_stream_conformance(
+        EngineKind::kBatch, core::ValidationMode::kLenient,
+        proptest::gen::make_conformance_stream(kSeed + salt++, kStreamLen / 4),
+        /*with_dps=*/false, burst);
+  }
 }
 
 TEST(Conformance, PoolStrict) {

@@ -21,6 +21,7 @@
 #include "dip/ndn/ndn.hpp"
 #include "dip/netsim/dip_node.hpp"
 #include "dip/netsim/topology.hpp"
+#include "dip/qos/dps.hpp"
 #include "dip/telemetry/counters.hpp"
 
 namespace dip::core {
@@ -387,6 +388,147 @@ TEST(BatchEquivalence, ResultSlotsAreFullyReset) {
   EXPECT_EQ(results[0].reason, DropReason::kNone);
   EXPECT_EQ(results[0].egress, std::vector<FaceId>{7});
   EXPECT_FALSE(results[0].respond_from_cache);
+}
+
+// Burst shapes around the wave-eligibility edges: 1 (singleton stays on the
+// per-packet path), 3/7 (odd partial bursts), 33 (past the bench's 32-wide
+// shape). Strict and lenient both run — quarantine vs drop must not depend
+// on the grouping either.
+TEST(BatchEquivalence, FixedBurstShapesMatchSequential) {
+  for (const ValidationMode mode : {ValidationMode::kStrict, ValidationMode::kLenient}) {
+    RouterEnv env_batch = routed_env(/*with_cache=*/true);
+    RouterEnv env_seq = routed_env(/*with_cache=*/false);
+    env_batch.disabled_keys.insert(OpKey::kMac);
+    env_seq.disabled_keys.insert(OpKey::kMac);
+    Router batch_router(std::move(env_batch), registry().get());
+    Router seq_router(std::move(env_seq), registry().get());
+    batch_router.set_validation(mode);
+    seq_router.set_validation(mode);
+
+    PacketSoup soup(0xB1257u + static_cast<unsigned>(mode));
+    SimTime now = 0;
+    std::size_t packet_idx = 0;
+    for (const std::size_t n : {1, 3, 7, 33}) {
+      for (int repeat = 0; repeat < 20; ++repeat, ++now) {
+        std::vector<std::vector<std::uint8_t>> a(n);
+        std::vector<std::vector<std::uint8_t>> b(n);
+        std::vector<PacketRef> refs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          a[i] = soup.next();
+          b[i] = a[i];
+          refs[i] = PacketRef(a[i]);
+        }
+        std::vector<ProcessResult> results(n);
+        batch_router.process_batch(refs, 0, now, results);
+        for (std::size_t i = 0; i < n; ++i, ++packet_idx) {
+          const ProcessResult seq = seq_router.process(b[i], 0, now);
+          expect_same_result(results[i], seq, packet_idx);
+          EXPECT_EQ(a[i], b[i]) << "packet bytes diverged at " << packet_idx;
+        }
+      }
+    }
+    EXPECT_EQ(batch_router.env().counters.quarantined,
+              seq_router.env().counters.quarantined);
+  }
+}
+
+// A burst where phase 1 kills every packet must short-circuit phase 2
+// cleanly: strict mode drops as malformed, lenient mode quarantines, and
+// in both cases the per-slot verdicts and counters account for all n.
+TEST(BatchEquivalence, AllMalformedBurstDropsOrQuarantinesEveryPacket) {
+  const std::size_t n = 9;
+  for (const ValidationMode mode : {ValidationMode::kStrict, ValidationMode::kLenient}) {
+    Router router(routed_env(), registry().get());
+    router.set_validation(mode);
+
+    std::vector<std::vector<std::uint8_t>> packets(n);
+    std::vector<PacketRef> refs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      packets[i] = dip32_packet(0x0A000001 + static_cast<std::uint32_t>(i));
+      if (i % 2 == 0) {
+        packets[i][5] ^= 0x5A;  // checksum corruption
+      } else {
+        packets[i].resize(3);  // truncation
+      }
+      refs[i] = PacketRef(packets[i]);
+    }
+    std::vector<ProcessResult> results(n);
+    router.process_batch(refs, 0, 0, results);
+
+    const DropReason want = mode == ValidationMode::kLenient
+                                ? DropReason::kCorruptQuarantine
+                                : DropReason::kMalformed;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(results[i].action, Action::kDrop) << i;
+      EXPECT_EQ(results[i].reason, want) << i;
+      EXPECT_TRUE(results[i].egress.empty()) << i;
+    }
+    EXPECT_EQ(router.env().counters.processed, n);
+    EXPECT_EQ(router.env().counters.dropped, n);
+    EXPECT_EQ(router.env().counters.quarantined,
+              mode == ValidationMode::kLenient ? n : 0u);
+  }
+}
+
+// Mixed op-key bursts with a stateful FN: F_dps packets interleaved with
+// plain match packets. The DPS fair-share estimator and its seeded drop
+// coin evolve per *arrival*, so batch dispatch must feed it in exactly
+// arrival order — two independently-seeded engines (burst vs per-packet)
+// agree verdict-for-verdict only if the order is preserved.
+TEST(BatchEquivalence, MixedOpKeyBurstPreservesDpsArrivalOrder) {
+  auto make_engine = [] {
+    auto reg = netsim::make_default_registry();
+    qos::FairShareEstimator::Config fair;
+    fair.capacity_bytes_per_sec = 100'000;
+    fair.window = 10 * kMillisecond;
+    reg->add(std::make_unique<qos::DpsOp>(fair, /*seed=*/7));
+    return reg;
+  };
+  auto reg_batch = make_engine();
+  auto reg_seq = make_engine();
+  RouterEnv env_batch = routed_env(/*with_cache=*/true);
+  RouterEnv env_seq = routed_env(/*with_cache=*/false);
+  env_batch.default_egress = 1;
+  env_seq.default_egress = 1;
+  Router batch_router(std::move(env_batch), reg_batch.get());
+  Router seq_router(std::move(env_seq), reg_seq.get());
+
+  // Overload the heavy flow (10 MB/s label against 100 kB/s capacity) so
+  // the policer actually drops — order bugs would show as disagreeing
+  // drop positions, not just counter totals.
+  auto dps_packet = [](std::uint32_t flow, std::uint32_t label) {
+    HeaderBuilder b;
+    qos::add_dps_fn(b, flow, label);
+    auto wire = b.build()->serialize();
+    wire.resize(1000, 0);
+    return wire;
+  };
+
+  SimTime now = 0;
+  std::size_t packet_idx = 0;
+  std::uint64_t batch_rate_drops = 0;
+  for (int burst = 0; burst < 120; ++burst, now += 100 * kMicrosecond) {
+    const std::size_t n = 32;
+    std::vector<std::vector<std::uint8_t>> a(n);
+    std::vector<std::vector<std::uint8_t>> b(n);
+    std::vector<PacketRef> refs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = (i % 2 == 0) ? dps_packet(1, 10'000'000)
+                          : dip32_packet(0x0A010000 + static_cast<std::uint32_t>(i % 4));
+      b[i] = a[i];
+      refs[i] = PacketRef(a[i]);
+    }
+    std::vector<ProcessResult> results(n);
+    batch_router.process_batch(refs, 0, now, results);
+    for (std::size_t i = 0; i < n; ++i, ++packet_idx) {
+      const ProcessResult seq = seq_router.process(b[i], 0, now);
+      expect_same_result(results[i], seq, packet_idx);
+      EXPECT_EQ(a[i], b[i]) << "packet bytes diverged at " << packet_idx;
+      if (results[i].reason == DropReason::kRateExceeded) ++batch_rate_drops;
+    }
+  }
+  // The property only bites if the policer engaged.
+  EXPECT_GT(batch_rate_drops, 0u) << "DPS never dropped; overload too light";
 }
 
 // ---------------------------------------------------------------- RouterPool

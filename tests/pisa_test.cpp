@@ -355,7 +355,7 @@ TEST(SwitchForwarder, AgreesWithSoftwareRouter) {
 
     if (rt_out.action == core::Action::kForward) {
       ASSERT_TRUE(sw_out->egress.has_value()) << "switch dropped, router forwarded";
-      EXPECT_EQ(*sw_out->egress, rt_out.egress.at(0));
+      EXPECT_EQ(*sw_out->egress, rt_out.egress[0]);
     } else {
       EXPECT_FALSE(sw_out->egress.has_value()) << "switch forwarded, router dropped";
     }
