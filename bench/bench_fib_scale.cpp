@@ -1,0 +1,336 @@
+// bench_fib_scale — Internet-scale FIB sweep (ROADMAP item 1 / ISSUE 7).
+//
+// Where bench_fib (A3) compares engine *mechanics* at toy scale, this lane
+// asks the deployment questions at DFZ scale, over synthesized tables with
+// realistic length histograms and allocation clustering (dip/fib/synth.hpp):
+//
+//   * BM_ScaleLookup*/N    — lookup ns per engine at 10k/100k/1M routes,
+//     with bytes/prefix and mean lookup depth as counters (the CRAM-lens
+//     trade-off surface: Dir24 buys depth ~1 with a 64 MiB slab; the tree
+//     bitmap holds ~tens of bytes/prefix at depth ~4-6).
+//     The binary trie rides along at 10k/100k only — ~1 GiB of pointer
+//     chasing at 1M is exactly the non-option the compressed engines exist
+//     to replace.
+//   * BM_ScaleLookup6*/N   — the IPv6 picture at 200k routes (/48-heavy).
+//   * BM_ScaleBuild*/N     — full-table build rate (routes/sec): the cost
+//     of standing up a snapshot from scratch, and the reason RouteJournal
+//     clones instead of rebuilding.
+//   * BM_ChurnPublish*/N   — journal flush latency vs table size: clone an
+//     N-route table, apply a coalesced 32-update delta, publish, reclaim.
+//     Clone cost dominates, which is the tree bitmap's arena-copy advantage.
+//   * BM_ChurnForwardPool  — the acceptance leg: a 2-worker RouterPool
+//     forwards flows covered by a stable /8 while the journal applies
+//     tens of thousands of updates/sec against a 100k-route tree-bitmap
+//     snapshot, publishing every 32 updates. Counters report achieved
+//     updates_per_sec and publish latency; `blackholed` (pool drops +
+//     errors) must be 0 — every packet is covered by the stable aggregate
+//     throughout, so any drop is a lost-route window in the RCU swap.
+//
+// Tables are built once per (engine, size) and shared across legs; at 1M
+// routes the builds (Dir24's block refreshes especially) dominate process
+// startup, not the measured loops.
+//
+// JSON trajectory: BENCH_fib_scale.json, refreshed via
+//   build/bench/bench_fib_scale --benchmark_min_time=0.2
+//     --benchmark_out=BENCH_fib_scale.json --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "dip/core/router_pool.hpp"
+#include "dip/ctrl/journal.hpp"
+#include "dip/fib/synth.hpp"
+
+namespace dip::bench {
+namespace {
+
+using fib::LpmEngine;
+
+constexpr std::size_t kProbeCount = 4096;
+
+const std::vector<fib::synth::SynthRoute<32>>& routes32(std::size_t count) {
+  static std::map<std::size_t, std::vector<fib::synth::SynthRoute<32>>> cache;
+  auto& slot = cache[count];
+  if (slot.empty()) slot = fib::synth::ipv4_table(count, 42);
+  return slot;
+}
+
+const std::vector<fib::synth::SynthRoute<128>>& routes128(std::size_t count) {
+  static std::map<std::size_t, std::vector<fib::synth::SynthRoute<128>>> cache;
+  auto& slot = cache[count];
+  if (slot.empty()) slot = fib::synth::ipv6_table(count, 42);
+  return slot;
+}
+
+const fib::Ipv4Lpm& table32(LpmEngine engine, std::size_t count) {
+  static std::map<std::pair<int, std::size_t>, std::unique_ptr<fib::Ipv4Lpm>> cache;
+  auto& slot = cache[{static_cast<int>(engine), count}];
+  if (!slot) {
+    slot = fib::make_lpm<32>(engine);
+    for (const auto& r : routes32(count)) slot->insert(r.prefix, r.nh);
+  }
+  return *slot;
+}
+
+const fib::Ipv6Lpm& table128(LpmEngine engine, std::size_t count) {
+  static std::map<std::pair<int, std::size_t>, std::unique_ptr<fib::Ipv6Lpm>> cache;
+  auto& slot = cache[{static_cast<int>(engine), count}];
+  if (!slot) {
+    slot = fib::make_lpm<128>(engine);
+    for (const auto& r : routes128(count)) slot->insert(r.prefix, r.nh);
+  }
+  return *slot;
+}
+
+template <std::size_t W>
+void report_shape(benchmark::State& state, const fib::LpmTable<W>& table,
+                  const std::vector<fib::Address<W>>& probes) {
+  std::size_t depth = 0;
+  for (const auto& a : probes) depth += table.lookup_depth(a);
+  state.counters["routes"] = static_cast<double>(table.size());
+  state.counters["table_bytes"] = static_cast<double>(table.memory_bytes());
+  state.counters["bytes_per_prefix"] =
+      static_cast<double>(table.memory_bytes()) / static_cast<double>(table.size());
+  state.counters["avg_lookup_depth"] =
+      static_cast<double>(depth) / static_cast<double>(probes.size());
+}
+
+// ---------------------------------------------------------------------------
+// Lookup sweep
+// ---------------------------------------------------------------------------
+
+void run_scale_lookup(benchmark::State& state, LpmEngine engine) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const fib::Ipv4Lpm& table = table32(engine, count);
+  const auto probes = fib::synth::probes(routes32(count), kProbeCount, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probes[i++ & (kProbeCount - 1)]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report_shape(state, table, probes);
+}
+
+void BM_ScaleLookupBinaryTrie(benchmark::State& state) {
+  run_scale_lookup(state, LpmEngine::kBinaryTrie);
+}
+void BM_ScaleLookupPatricia(benchmark::State& state) {
+  run_scale_lookup(state, LpmEngine::kPatricia);
+}
+void BM_ScaleLookupDir24(benchmark::State& state) {
+  run_scale_lookup(state, LpmEngine::kDir24);
+}
+void BM_ScaleLookupTreeBitmap(benchmark::State& state) {
+  run_scale_lookup(state, LpmEngine::kTreeBitmap);
+}
+
+BENCHMARK(BM_ScaleLookupBinaryTrie)->Arg(10'000)->Arg(100'000);
+BENCHMARK(BM_ScaleLookupPatricia)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK(BM_ScaleLookupDir24)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK(BM_ScaleLookupTreeBitmap)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void run_scale_lookup6(benchmark::State& state, LpmEngine engine) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const fib::Ipv6Lpm& table = table128(engine, count);
+  const auto probes = fib::synth::probes(routes128(count), kProbeCount, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probes[i++ & (kProbeCount - 1)]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report_shape(state, table, probes);
+}
+
+void BM_ScaleLookup6Patricia(benchmark::State& state) {
+  run_scale_lookup6(state, LpmEngine::kPatricia);
+}
+void BM_ScaleLookup6TreeBitmap(benchmark::State& state) {
+  run_scale_lookup6(state, LpmEngine::kTreeBitmap);
+}
+
+BENCHMARK(BM_ScaleLookup6Patricia)->Arg(200'000);
+BENCHMARK(BM_ScaleLookup6TreeBitmap)->Arg(200'000);
+
+// ---------------------------------------------------------------------------
+// Build rate
+// ---------------------------------------------------------------------------
+
+void run_scale_build(benchmark::State& state, LpmEngine engine) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto& routes = routes32(count);
+  for (auto _ : state) {
+    auto table = fib::make_lpm<32>(engine);
+    for (const auto& r : routes) table->insert(r.prefix, r.nh);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_ScaleBuildPatricia(benchmark::State& state) {
+  run_scale_build(state, LpmEngine::kPatricia);
+}
+void BM_ScaleBuildDir24(benchmark::State& state) {
+  run_scale_build(state, LpmEngine::kDir24);
+}
+void BM_ScaleBuildTreeBitmap(benchmark::State& state) {
+  run_scale_build(state, LpmEngine::kTreeBitmap);
+}
+
+BENCHMARK(BM_ScaleBuildPatricia)->Arg(100'000);
+BENCHMARK(BM_ScaleBuildDir24)->Arg(100'000);
+BENCHMARK(BM_ScaleBuildTreeBitmap)->Arg(100'000);
+
+// ---------------------------------------------------------------------------
+// Churn: journal publish latency vs table size
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kUpdatesPerFlush = 32;
+
+void run_churn_publish(benchmark::State& state, LpmEngine engine) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  auto tables = std::make_shared<ctrl::ControlTables>();
+  ctrl::RouteJournal journal(tables);
+  journal.seed(&table32(engine, count));
+
+  // Flap windows of existing routes: even iterations withdraw a fresh
+  // window, odd iterations restore it — every delta is a real change.
+  const auto& routes = routes32(count);
+  std::size_t window = 0;
+  bool removing = true;
+  std::uint64_t updates = 0;
+  for (auto _ : state) {
+    const std::size_t base = (window * kUpdatesPerFlush) % routes.size();
+    for (std::size_t j = 0; j < kUpdatesPerFlush; ++j) {
+      const auto& r = routes[(base + j) % routes.size()];
+      if (removing) {
+        journal.remove_route32(r.prefix);
+      } else {
+        journal.add_route32(r.prefix, r.nh);
+      }
+      ++updates;
+    }
+    journal.flush();
+    if (!removing) ++window;
+    removing = !removing;
+  }
+  const auto& js = journal.stats();
+  state.counters["updates"] = static_cast<double>(updates);
+  state.counters["updates_per_sec"] =
+      benchmark::Counter(static_cast<double>(updates), benchmark::Counter::kIsRate);
+  if (js.flushes != 0) {
+    state.counters["publish_latency_ns"] =
+        static_cast<double>(js.total_flush_ns) / static_cast<double>(js.flushes);
+    state.counters["publish_latency_max_ns"] = static_cast<double>(js.max_flush_ns);
+  }
+}
+
+void BM_ChurnPublishPatricia(benchmark::State& state) {
+  run_churn_publish(state, LpmEngine::kPatricia);
+}
+void BM_ChurnPublishTreeBitmap(benchmark::State& state) {
+  run_churn_publish(state, LpmEngine::kTreeBitmap);
+}
+
+BENCHMARK(BM_ChurnPublishPatricia)->Arg(10'000)->Arg(100'000);
+BENCHMARK(BM_ChurnPublishTreeBitmap)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+// ---------------------------------------------------------------------------
+// Churn + forwarding: the zero-blackhole acceptance leg
+// ---------------------------------------------------------------------------
+
+void BM_ChurnForwardPool(benchmark::State& state) {
+  constexpr std::size_t kTableRoutes = 100'000;
+  auto tables = std::make_shared<ctrl::ControlTables>();
+  ctrl::RouteJournal journal(tables);
+  {
+    auto seeded = fib::make_lpm<32>(LpmEngine::kTreeBitmap);
+    // The stable covering aggregate: all bench traffic is 10.x.y.z, so no
+    // flap below can ever legitimately blackhole a packet.
+    seeded->insert({fib::ipv4_from_u32(0x0A000000u), 8}, 1);
+    for (const auto& r : routes32(kTableRoutes)) seeded->insert(r.prefix, r.nh);
+    journal.seed(seeded.get());
+  }
+
+  const auto registry = shared_registry();
+  const auto envf = [&tables](std::size_t worker) {
+    core::RouterEnv env;
+    env.node_id = static_cast<std::uint32_t>(worker);
+    env.control = tables;
+    env.ctrl_reader = tables->register_reader();
+    env.flow_cache = std::make_unique<core::FlowCache>();
+    env.default_egress.reset();
+    return env;
+  };
+  core::RouterPoolConfig cfg;
+  cfg.workers = 2;
+  core::RouterPool pool(registry.get(), envf, cfg);
+
+  std::vector<std::vector<std::uint8_t>> templates(256);
+  fib::synth::Splitmix64 rng(3);
+  for (auto& t : templates) {
+    t = core::make_dip32_header(
+            fib::ipv4_from_u32(0x0A000000u |
+                               (static_cast<std::uint32_t>(rng.next()) & 0x00ff'ffffu)),
+            fib::ipv4_from_u32(0x7F000001u))
+            ->serialize();
+  }
+
+  std::size_t pos = 0;
+  SimTime now = 0;
+  std::size_t window = 0;
+  bool removing = false;  // first pass installs the flap /20s
+  std::uint64_t updates = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      pool.submit(templates[pos++ & 255], 0, now += kMicrosecond);
+    }
+    // Flap /20 more-specifics under the stable /8.
+    const std::uint32_t base = static_cast<std::uint32_t>(window) & 0x3ffu;
+    for (std::size_t j = 0; j < kUpdatesPerFlush; ++j) {
+      const fib::Prefix<32> p{
+          fib::ipv4_from_u32(0x0A000000u |
+                             (((base + static_cast<std::uint32_t>(j)) & 0xfffu) << 12)),
+          20};
+      if (removing) {
+        journal.remove_route32(p);
+      } else {
+        journal.add_route32(p, 77);
+      }
+      ++updates;
+    }
+    journal.flush();
+    if (removing) ++window;
+    removing = !removing;
+  }
+  pool.drain();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const auto snap = pool.counters();
+  const auto& js = journal.stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(snap.processed));
+  state.counters["updates_per_sec"] =
+      secs > 0 ? static_cast<double>(updates) / secs : 0.0;
+  state.counters["forwarded"] = static_cast<double>(snap.forwarded);
+  state.counters["blackholed"] = static_cast<double>(snap.dropped + snap.errors);
+  if (js.flushes != 0) {
+    state.counters["publish_latency_ns"] =
+        static_cast<double>(js.total_flush_ns) / static_cast<double>(js.flushes);
+    state.counters["publish_latency_max_ns"] = static_cast<double>(js.max_flush_ns);
+  }
+  pool.stop();
+  if (snap.dropped + snap.errors != 0) {
+    state.SkipWithError("blackholed packets under churn — RCU swap lost routes");
+  }
+}
+
+BENCHMARK(BM_ChurnForwardPool)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dip::bench
+
+BENCHMARK_MAIN();

@@ -16,11 +16,15 @@
 //   4. the control plane under a link flap — route churn, convergence
 //      time, and QSBR snapshot reclamation, the dip_ctrl_* series
 //      (docs/CONTROL_PLANE.md);
-//   5. the full Prometheus-style text exposition (written to the optional
+//   5. the FIB engine catalogue over one synthesized route table — per-
+//      engine footprint and lookup-depth quantiles, the dip_fib_* series
+//      (docs/FIB.md);
+//   6. the full Prometheus-style text exposition (written to the optional
 //      file argument, else printed), composed through a StatsRegistry that
-//      carries pool, node, network, and control-plane sections.
+//      carries pool, node, network, control-plane, and FIB sections.
 //
 // The metric catalogue is documented in docs/OBSERVABILITY.md.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -31,6 +35,7 @@
 #include "dip/core/router_pool.hpp"
 #include "dip/ctrl/control_plane.hpp"
 #include "dip/fib/lpm.hpp"
+#include "dip/fib/synth.hpp"
 #include "dip/ndn/ndn.hpp"
 #include "dip/netsim/dip_node.hpp"
 #include "dip/netsim/topology.hpp"
@@ -316,13 +321,67 @@ int main(int argc, char** argv) {
                 a_journal->tables().domain.backlog());
   }
 
-  // --- 5. Full exposition page via a StatsRegistry: pool + node + --------
-  // --- network + control plane. ------------------------------------------
+  // --- 5. The FIB engine catalogue over one synthesized table ------------
+  // --- (docs/FIB.md): every LpmEngine loaded with the same realistic -----
+  // --- 20k-route distribution, reporting footprint and lookup-depth ------
+  // --- quantiles — the dip_fib_* series an operator would watch. ---------
+  constexpr std::size_t kFibRoutes = 20000;
+  constexpr std::size_t kFibProbes = 512;
+  struct FibEngineRow {
+    const char* name;
+    fib::LpmEngine engine;
+    std::unique_ptr<fib::Ipv4Lpm> table;
+    double depth_p50 = 0.0;
+    double depth_p99 = 0.0;
+  };
+  std::vector<FibEngineRow> fib_engines;
+  fib_engines.push_back({"binary_trie", fib::LpmEngine::kBinaryTrie, nullptr});
+  fib_engines.push_back({"patricia", fib::LpmEngine::kPatricia, nullptr});
+  fib_engines.push_back({"dir24", fib::LpmEngine::kDir24, nullptr});
+  fib_engines.push_back({"tree_bitmap", fib::LpmEngine::kTreeBitmap, nullptr});
+  {
+    const auto fib_routes = fib::synth::ipv4_table(kFibRoutes, 0xD1B);
+    const auto fib_probes = fib::synth::probes(fib_routes, kFibProbes, 7);
+    std::printf("\n[fib] %zu synthesized routes, %zu probes — the engine "
+                "catalogue (docs/FIB.md):\n",
+                fib_routes.size(), fib_probes.size());
+    for (auto& row : fib_engines) {
+      row.table = fib::make_lpm<32>(row.engine);
+      for (const auto& r : fib_routes) row.table->insert(r.prefix, r.nh);
+      std::vector<std::size_t> depths;
+      depths.reserve(fib_probes.size());
+      for (const auto& a : fib_probes) depths.push_back(row.table->lookup_depth(a));
+      std::sort(depths.begin(), depths.end());
+      row.depth_p50 = static_cast<double>(depths[depths.size() / 2]);
+      row.depth_p99 = static_cast<double>(depths[depths.size() * 99 / 100]);
+      std::printf("  %-12s %zu routes in %8zu bytes (%6.1f B/prefix), "
+                  "lookup depth p50=%.0f p99=%.0f\n",
+                  row.name, row.table->size(), row.table->memory_bytes(),
+                  static_cast<double>(row.table->memory_bytes()) /
+                      static_cast<double>(row.table->size()),
+                  row.depth_p50, row.depth_p99);
+    }
+  }
+
+  // --- 6. Full exposition page via a StatsRegistry: pool + node + --------
+  // --- network + control plane + FIB. ------------------------------------
   telemetry::StatsRegistry page;
   pool.register_stats(page);
   node.register_stats(page);
   net.register_stats(page);
   cp.register_stats(page);
+  page.add("fib", [&fib_engines](telemetry::StatsWriter& w) {
+    for (const auto& row : fib_engines) {
+      const telemetry::Label engine{"engine", row.name};
+      const telemetry::Label plain[]{engine};
+      w.counter("dip_fib_entries", plain, row.table->size());
+      w.counter("dip_fib_memory_bytes", plain, row.table->memory_bytes());
+      const telemetry::Label p50[]{engine, {"quantile", "0.5"}};
+      w.gauge("dip_fib_lookup_depth", p50, row.depth_p50);
+      const telemetry::Label p99[]{engine, {"quantile", "0.99"}};
+      w.gauge("dip_fib_lookup_depth", p99, row.depth_p99);
+    }
+  });
   const std::string exposition = page.render();
 
   if (argc > 1) {

@@ -2,9 +2,10 @@
 # Full verification pipeline: release build + tests + benches, then an
 # ASan/UBSan build + tests. This is what CI should run.
 #
-#   --fast   docs check + release build + the unit/property/ctrl test tiers
-#            only (see docs/TESTING.md): the inner-loop lane, no benches, no
-#            sanitizer rebuilds.
+#   --fast   docs check + release build + the unit/property/ctrl/fib test
+#            tiers only (see docs/TESTING.md): the inner-loop lane, no
+#            benches, no sanitizer rebuilds. `ctest -L fib` alone slices
+#            just the FIB-engine lane (docs/FIB.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,8 +52,8 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release \
 cmake --build build
 
 if [ "$FAST" -eq 1 ]; then
-  echo "== tests (--fast: unit + property + ctrl tiers) =="
-  ctest --test-dir build -L "unit|property|ctrl" --output-on-failure
+  echo "== tests (--fast: unit + property + ctrl + fib tiers) =="
+  ctest --test-dir build -L "unit|property|ctrl|fib" --output-on-failure
   echo "FAST CHECKS PASSED"
   exit 0
 fi
@@ -91,11 +92,14 @@ echo "== TSan build (RouterPool / SpscRing concurrency + chaos harness) =="
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
   >/dev/null
 cmake --build build-tsan --target pipeline_test stats_test chaos_test \
-  differential_test conformance_test ctrl_test
+  differential_test conformance_test ctrl_test fib_test
 
-echo "== pipeline + stats + chaos + differential + conformance + ctrl tests under TSan =="
+echo "== pipeline + stats + chaos + differential + conformance + ctrl + fib-churn tests under TSan =="
+# fib_churn_test runs only the TreeBitmapChurn pool-under-journal-flush
+# suite (docs/FIB.md) — full fib_test under TSan would mostly re-run
+# single-threaded engine oracles at 10x cost.
 ctest --test-dir build-tsan \
-  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test|ctrl_test" \
+  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test|ctrl_test|fib_churn_test" \
   --output-on-failure
 
 echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="
@@ -104,6 +108,8 @@ echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="
 #     --benchmark_out=BENCH_chaos.json --benchmark_out_format=json
 # The smoke loop above already executes bench_chaos once per run.
 # BENCH_control_plane.json (snapshot read overhead vs static FIB) is
-# refreshed the same way from bench_control_plane.
+# refreshed the same way from bench_control_plane, and
+# BENCH_fib_scale.json (Internet-scale FIB sweep + zero-blackhole churn
+# leg, docs/FIB.md) from bench_fib_scale.
 
 echo "ALL CHECKS PASSED"

@@ -42,6 +42,13 @@ struct JournalStats {
   std::uint64_t updates_applied = 0; ///< coalesced deltas applied at flush
   std::uint64_t snapshots_published = 0;  ///< per-table publishes
   std::uint64_t flushes = 0;         ///< flush() calls that published
+  // Publish latency: wall time of the clone + apply + publish section of a
+  // flush() that published at least one table. This is the churn-side cost
+  // the tree-bitmap engine's cheap clone() exists to bound (dip_fib_publish_
+  // latency series; swept by bench_fib_scale's churn leg).
+  std::uint64_t last_flush_ns = 0;   ///< most recent publishing flush
+  std::uint64_t max_flush_ns = 0;    ///< worst publishing flush
+  std::uint64_t total_flush_ns = 0;  ///< sum over publishing flushes
 };
 
 class RouteJournal {

@@ -1,5 +1,8 @@
 #include "dip/ctrl/journal.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 namespace dip::ctrl {
 
 RouteJournal::RouteJournal(std::shared_ptr<ControlTables> tables,
@@ -86,6 +89,7 @@ std::size_t RouteJournal::pending() const noexcept {
 }
 
 std::size_t RouteJournal::flush() {
+  const auto start = std::chrono::steady_clock::now();
   std::size_t published = 0;
 
   if (!pending32_.empty()) {
@@ -173,6 +177,12 @@ std::size_t RouteJournal::flush() {
   if (published != 0) {
     stats_.snapshots_published += published;
     ++stats_.flushes;
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    stats_.last_flush_ns = ns;
+    stats_.max_flush_ns = std::max(stats_.max_flush_ns, ns);
+    stats_.total_flush_ns += ns;
   }
   // Reclaim even when nothing was published: readers may have quiesced past
   // earlier retirees since the last call.

@@ -69,11 +69,34 @@ class BinaryTrie final : public LpmTable<W> {
 
   [[nodiscard]] std::size_t size() const override { return size_; }
 
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return sizeof(*this) + (count_nodes(root_) - 1) * sizeof(Node);
+  }
+
+  [[nodiscard]] std::size_t lookup_depth(const Address<W>& addr) const override {
+    std::size_t depth = 1;
+    const Node* node = &root_;
+    for (std::size_t i = 0; i < W; ++i) {
+      node = node->child[addr.bit(i)].get();
+      if (!node) break;
+      ++depth;
+    }
+    return depth;
+  }
+
  private:
   struct Node {
     std::unique_ptr<Node> child[2];
     std::optional<NextHop> next_hop;
   };
+
+  static std::size_t count_nodes(const Node& n) {
+    std::size_t count = 1;
+    for (int b = 0; b < 2; ++b) {
+      if (n.child[b]) count += count_nodes(*n.child[b]);
+    }
+    return count;
+  }
 
   static void copy_subtree(Node& dst, const Node& src) {
     dst.next_hop = src.next_hop;

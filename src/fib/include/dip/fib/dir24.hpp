@@ -46,6 +46,22 @@ class Dir24 final : public LpmTable<32> {
     return std::make_unique<Dir24>(*this);
   }
 
+  /// The fixed 64 MiB base slab plus extension blocks plus the shadow trie
+  /// that backs incremental updates — the whole-footprint number; the slab
+  /// dominates until ~10M routes.
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    std::size_t ext = extensions_.capacity() * sizeof(extensions_[0]);
+    for (const auto& e : extensions_) ext += e.capacity() * sizeof(std::uint32_t);
+    return sizeof(*this) + base_.capacity() * sizeof(std::uint32_t) + ext +
+           shadow_.memory_bytes();
+  }
+
+  /// One base-slab load, plus one more when the block spills to an
+  /// extension table.
+  [[nodiscard]] std::size_t lookup_depth(const Ipv4Addr& addr) const override {
+    return (base_[ipv4_to_u32(addr) >> 8] & kExtendedBit) != 0 ? 2 : 1;
+  }
+
  protected:
   std::optional<NextHop> do_insert(Prefix<32> prefix, NextHop nh) override;
   std::optional<NextHop> do_remove(Prefix<32> prefix) override;

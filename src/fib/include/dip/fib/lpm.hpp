@@ -2,7 +2,8 @@
 //
 // F_32_match, F_128_match and F_FIB all reduce to LPM over some key space;
 // the engines behind this interface are the subject of ablation A3
-// (bench_fib): binary trie vs Patricia trie vs DIR-24-8.
+// (bench_fib) and the scale sweep (bench_fib_scale): binary trie vs
+// Patricia trie vs DIR-24-8 vs tree bitmap. docs/FIB.md is the catalogue.
 //
 // The base class tracks a route-table *generation*: every mutation bumps it,
 // and the router's flow cache stamps each memoized verdict with the
@@ -49,6 +50,16 @@ class LpmTable {
   /// Number of routes installed.
   [[nodiscard]] virtual std::size_t size() const = 0;
 
+  /// Resident bytes of the structure (nodes, slabs, shadow state — the
+  /// number bench_fib_scale divides by size() for bytes/prefix). Pointer
+  /// engines walk their nodes, so this is O(size); call it off the fast
+  /// path (exposition, bench counters).
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+  /// Nodes (dependent loads) a lookup of `addr` touches — the
+  /// memory-system cost model behind the dip_fib_lookup_depth series.
+  [[nodiscard]] virtual std::size_t lookup_depth(const Address<W>& addr) const = 0;
+
   /// Deep copy, *inheriting the generation*. The control plane clones the
   /// live snapshot as the base for a delta build; the applied deltas then
   /// bump the copy's generation past the original's, so flow-cache entries
@@ -77,8 +88,14 @@ class LpmTable {
 
 enum class LpmEngine : std::uint8_t {
   kBinaryTrie,   ///< one node per prefix bit — simple, slow, memory-hungry
-  kPatricia,     ///< path-compressed trie — the production default
-  kDir24,        ///< DIR-24-8 flat lookup (IPv4 only) — fastest lookup
+  kPatricia,     ///< path-compressed trie — the default at small scale
+  kDir24,        ///< DIR-24-8 flat lookup (IPv4 only) — fastest lookup, but a
+                 ///< fixed ~64 MiB slab and O(block) updates; clone cost makes
+                 ///< it a poor fit for the journal's copy-on-write churn path
+  kTreeBitmap,   ///< stride-4 bitmap-compressed trie — the Internet-scale
+                 ///< choice: lowest bytes/prefix, near-Dir24 lookups at 1M
+                 ///< routes, and memcpy-cheap clone() for churn publishing
+                 ///< (see docs/FIB.md for the selection guide)
 };
 
 /// Factory. kDir24 is only valid for W == 32.

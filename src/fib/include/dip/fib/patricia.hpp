@@ -122,12 +122,36 @@ class PatriciaTrie final : public LpmTable<W> {
 
   [[nodiscard]] std::size_t size() const override { return size_; }
 
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return sizeof(*this) + (count_nodes(root_) - 1) * sizeof(Node);
+  }
+
+  [[nodiscard]] std::size_t lookup_depth(const Address<W>& addr) const override {
+    std::size_t depth = 1;
+    const Node* node = &root_;
+    while (node->prefix.length < W) {
+      const Node* next = node->child[addr.bit(node->prefix.length)].get();
+      if (!next || !next->prefix.matches(addr)) break;
+      ++depth;
+      node = next;
+    }
+    return depth;
+  }
+
  private:
   struct Node {
     Prefix<W> prefix{};  // full path from root
     std::optional<NextHop> next_hop;
     std::unique_ptr<Node> child[2];
   };
+
+  static std::size_t count_nodes(const Node& n) {
+    std::size_t count = 1;
+    for (int b = 0; b < 2; ++b) {
+      if (n.child[b]) count += count_nodes(*n.child[b]);
+    }
+    return count;
+  }
 
   static void copy_subtree(Node& dst, const Node& src) {
     dst.prefix = src.prefix;

@@ -1,0 +1,189 @@
+// Realistic routing-table synthesis — shared by bench_fib_scale and the
+// cross-engine parity tests in fib_test.
+//
+// Real FIBs are nothing like uniform random prefixes: lengths follow a
+// sharply peaked histogram (/24 alone is ~a quarter of the IPv4 DFZ, /48
+// similarly dominates IPv6) and addresses cluster under registry
+// allocation blocks, which is what gives tries their branchy-top/stringy-
+// bottom shape and makes DIR-24-8 extension tables rare. The generators
+// here model both: a per-mille length histogram taken from public
+// RouteViews/RIPE snapshots and a bounded set of super-blocks that most
+// prefixes are carved from.
+//
+// Everything is seed-deterministic (self-contained splitmix64, no libc
+// rand, no std::uniform_* whose mapping varies by platform) so bench runs
+// and tests generate byte-identical tables everywhere.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "dip/fib/address.hpp"
+
+namespace dip::fib::synth {
+
+template <std::size_t W>
+struct SynthRoute {
+  Prefix<W> prefix;
+  NextHop nh = 0;
+};
+
+class Splitmix64 {
+ public:
+  explicit constexpr Splitmix64(std::uint64_t seed) noexcept
+      : state_(seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+namespace detail {
+
+struct LengthBin {
+  std::uint8_t length;
+  std::uint16_t weight;  // per mille
+};
+
+// IPv4 DFZ length mix (rounded from RouteViews full-table snapshots):
+// /24 dominates, /19–/23 carry most of the rest, a thin tail of short
+// aggregates and a few host/deaggregated routes.
+inline constexpr LengthBin kIpv4Bins[] = {
+    {8, 4},   {9, 1},   {10, 2},  {11, 3},   {12, 6},   {13, 8},  {14, 14},
+    {15, 15}, {16, 95}, {17, 45}, {18, 75},  {19, 95},  {20, 100},
+    {21, 95}, {22, 125}, {23, 70}, {24, 240}, {28, 4},  {32, 3}};
+
+// IPv6 DFZ length mix: /48 dominates, /32 (allocations) and /64 next.
+inline constexpr LengthBin kIpv6Bins[] = {
+    {29, 15}, {32, 110}, {36, 50}, {40, 70}, {44, 60},
+    {48, 440}, {52, 25}, {56, 80}, {64, 140}, {128, 10}};
+
+template <std::size_t N>
+constexpr std::uint32_t total_weight(const LengthBin (&bins)[N]) {
+  std::uint32_t total = 0;
+  for (const auto& b : bins) total += b.weight;
+  return total;
+}
+
+template <std::size_t N>
+constexpr std::uint8_t pick_length(const LengthBin (&bins)[N], std::uint32_t roll) {
+  for (const auto& b : bins) {
+    if (roll < b.weight) return b.length;
+    roll -= b.weight;
+  }
+  return bins[N - 1].length;
+}
+
+}  // namespace detail
+
+/// Synthesize `count` distinct IPv4 routes. Short aggregates (<= /12) are
+/// drawn uniformly; everything else is carved from count/128 registry-style
+/// /12 super-blocks so the address space clusters the way the real DFZ
+/// does. Draws that collide with an installed prefix (or land in an
+/// exhausted short-length space) are simply redrawn.
+inline std::vector<SynthRoute<32>> ipv4_table(std::size_t count,
+                                              std::uint64_t seed = 1) {
+  Splitmix64 rng(seed);
+  constexpr std::uint32_t kTotal = detail::total_weight(detail::kIpv4Bins);
+
+  const std::size_t nblocks = std::max<std::size_t>(4, count / 128);
+  std::vector<std::uint32_t> blocks(nblocks);
+  for (auto& b : blocks) {
+    // /12 allocation bases spread over unicast space (1.0.0.0–223.x).
+    const auto octet = static_cast<std::uint32_t>(1 + rng.below(223));
+    b = (octet << 24) | (static_cast<std::uint32_t>(rng.below(16)) << 20);
+  }
+
+  std::vector<SynthRoute<32>> out;
+  out.reserve(count);
+  std::set<Prefix<32>> seen;
+  while (out.size() < count) {
+    const auto len = detail::pick_length(
+        detail::kIpv4Bins, static_cast<std::uint32_t>(rng.below(kTotal)));
+    std::uint32_t addr;
+    if (len <= 12) {
+      addr = static_cast<std::uint32_t>(rng.next());
+    } else {
+      addr = blocks[rng.below(blocks.size())] |
+             (static_cast<std::uint32_t>(rng.next()) & 0x000f'ffffu);
+    }
+    Prefix<32> p{ipv4_from_u32(addr), len};
+    p.normalize();
+    if (!seen.insert(p).second) continue;
+    out.push_back({p, static_cast<NextHop>(1 + rng.below(255))});
+  }
+  return out;
+}
+
+/// Synthesize `count` distinct IPv6 routes under 2000::/3 (global unicast),
+/// clustered beneath count/64 /24 super-blocks.
+inline std::vector<SynthRoute<128>> ipv6_table(std::size_t count,
+                                               std::uint64_t seed = 1) {
+  Splitmix64 rng(seed);
+  constexpr std::uint32_t kTotal = detail::total_weight(detail::kIpv6Bins);
+
+  const std::size_t nblocks = std::max<std::size_t>(4, count / 64);
+  std::vector<std::array<std::uint8_t, 3>> blocks(nblocks);
+  for (auto& b : blocks) {
+    b[0] = static_cast<std::uint8_t>(0x20 | rng.below(0x20));
+    b[1] = static_cast<std::uint8_t>(rng.next());
+    b[2] = static_cast<std::uint8_t>(rng.next());
+  }
+
+  std::vector<SynthRoute<128>> out;
+  out.reserve(count);
+  std::set<Prefix<128>> seen;
+  while (out.size() < count) {
+    const auto len = detail::pick_length(
+        detail::kIpv6Bins, static_cast<std::uint32_t>(rng.below(kTotal)));
+    Address<128> a{};
+    for (auto& byte : a.bytes) byte = static_cast<std::uint8_t>(rng.next());
+    if (len >= 24) {
+      const auto& b = blocks[rng.below(blocks.size())];
+      a.bytes[0] = b[0];
+      a.bytes[1] = b[1];
+      a.bytes[2] = b[2];
+    } else {
+      a.bytes[0] = static_cast<std::uint8_t>(0x20 | (a.bytes[0] & 0x1f));
+    }
+    Prefix<128> p{a, len};
+    p.normalize();
+    if (!seen.insert(p).second) continue;
+    out.push_back({p, static_cast<NextHop>(1 + rng.below(255))});
+  }
+  return out;
+}
+
+/// Probe addresses against a synthesized table: even slots land inside an
+/// installed prefix (hits, random host bits), odd slots are uniform random
+/// (mostly covered only by short aggregates or nothing).
+template <std::size_t W>
+inline std::vector<Address<W>> probes(const std::vector<SynthRoute<W>>& routes,
+                                      std::size_t count, std::uint64_t seed = 7) {
+  Splitmix64 rng(seed);
+  std::vector<Address<W>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Address<W> a{};
+    for (auto& byte : a.bytes) byte = static_cast<std::uint8_t>(rng.next());
+    if (i % 2 == 0 && !routes.empty()) {
+      const Prefix<W>& p = routes[rng.below(routes.size())].prefix;
+      for (std::size_t b = 0; b < p.length; ++b) a.set_bit(b, p.addr.bit(b));
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace dip::fib::synth

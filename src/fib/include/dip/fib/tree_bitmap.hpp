@@ -1,0 +1,321 @@
+// Tree bitmap (Eatherton/Dixon/Varghese) compressed LPM — the scale engine.
+//
+// Multibit trie with stride 4 where each node is 12 bytes: a 15-bit
+// *internal* bitmap holding the prefixes that end inside the node (lengths
+// 0..3 past the node's depth, heap-ordered), a 16-bit *external* bitmap
+// marking which of the 16 child branches exist, and two arena offsets.
+// Children of a node and its next hops are stored as contiguous runs in
+// flat arenas and addressed by popcount rank, so there are no per-node
+// pointers at all — the CRAM-lens representation trade: a little popcount
+// arithmetic per level buys ~an order of magnitude less memory than the
+// pointer tries at Internet scale, and a table that clones by vector copy.
+//
+// That last property is what makes this the engine of choice under churn:
+// RouteJournal::flush() clones the live snapshot before applying deltas, so
+// copy cost *is* publish latency. Cloning here is three memcpy-ish vector
+// copies instead of a million node allocations (see docs/FIB.md and
+// bench_fib_scale's churn leg).
+//
+// Updates rewrite one child run and one result run per affected node
+// (allocate run of n±1, copy, recycle the old run through a per-size free
+// list). That makes inserts slower than Patricia's pointer splice but keeps
+// the arenas compact across flap-heavy workloads without a compaction pass.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dip/fib/lpm.hpp"
+
+namespace dip::fib {
+
+template <std::size_t W>
+class TreeBitmap final : public LpmTable<W> {
+  static_assert(W % 4 == 0, "tree bitmap uses a fixed stride of 4 bits");
+
+ public:
+  static constexpr std::size_t kStride = 4;
+  static constexpr std::size_t kLevels = W / kStride;  // child levels below root
+
+  TreeBitmap() { nodes_.emplace_back(); }
+  /// Deep copy by arena copy (the cheap clone the journal relies on);
+  /// adopts the source's generation via the LpmTable protected copy ctor.
+  TreeBitmap(const TreeBitmap&) = default;
+
+  [[nodiscard]] std::unique_ptr<LpmTable<W>> clone() const override {
+    return std::make_unique<TreeBitmap>(*this);
+  }
+
+  [[nodiscard]] std::optional<NextHop> lookup(const Address<W>& addr) const override {
+    std::optional<NextHop> best;
+    std::uint32_t cur = 0;
+    for (std::size_t k = 0;; ++k) {
+      const Node& n = nodes_[cur];
+      const std::uint32_t v = k < kLevels ? stride_at(addr, k) : 0;
+      if (n.internal != 0) {
+        // Longest prefix ending in this node: start at the length-3 slot
+        // for these stride bits and climb the heap toward the node root.
+        std::uint32_t i = k < kLevels ? 7u + (v >> 1) : 0u;
+        while (true) {
+          if (n.internal & (1u << i)) {
+            best = results_[n.result_base + rank16(n.internal, i)];
+            break;
+          }
+          if (i == 0) break;
+          i = (i - 1) >> 1;
+        }
+      }
+      if (k >= kLevels) break;
+      const std::uint32_t bit = 1u << v;
+      if ((n.external & bit) == 0) break;
+      cur = n.child_base + rank16(n.external, v);
+    }
+    return best;
+  }
+
+  /// Pull the root's child for addr's first stride — the first load of the
+  /// walk that can miss (the root node itself is always hot).
+  void prefetch(const Address<W>& addr) const noexcept override {
+#if defined(__GNUC__) || defined(__clang__)
+    const Node& root = nodes_[0];
+    const std::uint32_t v = stride_at(addr, 0);
+    if (root.external & (1u << v)) {
+      __builtin_prefetch(&nodes_[root.child_base + rank16(root.external, v)], 0, 2);
+    }
+#else
+    (void)addr;
+#endif
+  }
+
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    std::size_t free_lists = 0;
+    for (const auto& fl : free_node_runs_) free_lists += fl.capacity() * sizeof(std::uint32_t);
+    for (const auto& fl : free_result_runs_) free_lists += fl.capacity() * sizeof(std::uint32_t);
+    return sizeof(*this) + nodes_.capacity() * sizeof(Node) +
+           results_.capacity() * sizeof(NextHop) + free_lists;
+  }
+
+  [[nodiscard]] std::size_t lookup_depth(const Address<W>& addr) const override {
+    std::size_t depth = 1;  // root
+    std::uint32_t cur = 0;
+    for (std::size_t k = 0; k < kLevels; ++k) {
+      const Node& n = nodes_[cur];
+      const std::uint32_t bit = 1u << stride_at(addr, k);
+      if ((n.external & bit) == 0) break;
+      cur = n.child_base + rank16(n.external, stride_at(addr, k));
+      ++depth;
+    }
+    return depth;
+  }
+
+ protected:
+  std::optional<NextHop> do_insert(Prefix<W> prefix, NextHop nh) override {
+    prefix.normalize();
+    const std::size_t levels = prefix.length / kStride;
+    std::uint32_t cur = 0;
+    for (std::size_t k = 0; k < levels; ++k) {
+      cur = child_or_create(cur, stride_at(prefix.addr, k));
+    }
+    const std::uint32_t bit = 1u << internal_index(prefix, levels);
+    if (nodes_[cur].internal & bit) {
+      NextHop& slot =
+          results_[nodes_[cur].result_base + rank16_bit(nodes_[cur].internal, bit)];
+      const NextHop old = slot;
+      slot = nh;
+      return old;
+    }
+    grow_results(cur, rank16_bit(nodes_[cur].internal, bit), nh);
+    nodes_[cur].internal = static_cast<std::uint16_t>(nodes_[cur].internal | bit);
+    ++size_;
+    return std::nullopt;
+  }
+
+  std::optional<NextHop> do_remove(Prefix<W> prefix) override {
+    prefix.normalize();
+    const std::size_t levels = prefix.length / kStride;
+    std::array<std::uint32_t, kLevels + 1> path;
+    std::array<std::uint32_t, kLevels> branch;
+    path[0] = 0;
+    for (std::size_t k = 0; k < levels; ++k) {
+      const Node& n = nodes_[path[k]];
+      const std::uint32_t v = stride_at(prefix.addr, k);
+      if ((n.external & (1u << v)) == 0) return std::nullopt;
+      branch[k] = v;
+      path[k + 1] = n.child_base + rank16(n.external, v);
+    }
+    const std::uint32_t tail = path[levels];
+    const std::uint32_t bit = 1u << internal_index(prefix, levels);
+    if ((nodes_[tail].internal & bit) == 0) return std::nullopt;
+    const NextHop old =
+        results_[nodes_[tail].result_base + rank16_bit(nodes_[tail].internal, bit)];
+    shrink_results(tail, rank16_bit(nodes_[tail].internal, bit));
+    nodes_[tail].internal = static_cast<std::uint16_t>(nodes_[tail].internal & ~bit);
+    --size_;
+    // Prune the now-empty tail of the path (a pruned node owns no runs:
+    // its last result run was freed above, child runs when children left).
+    for (std::size_t k = levels; k > 0; --k) {
+      const Node& n = nodes_[path[k]];
+      if (n.internal != 0 || n.external != 0) break;
+      remove_child(path[k - 1], branch[k - 1]);
+    }
+    return old;
+  }
+
+ private:
+  struct Node {
+    std::uint16_t internal = 0;   // heap-ordered intra-node prefixes, 15 bits
+    std::uint16_t external = 0;   // child present per 4-bit branch value
+    std::uint32_t child_base = 0;   // arena run of popcount(external) nodes
+    std::uint32_t result_base = 0;  // arena run of popcount(internal) next hops
+  };
+
+  /// Stride k of an address: bits [4k, 4k+4) as a value, MSB-first.
+  static constexpr std::uint32_t stride_at(const Address<W>& a, std::size_t k) noexcept {
+    return (a.bytes[k >> 1] >> ((k & 1) ? 0 : 4)) & 0xFu;
+  }
+
+  /// Rank of `bit_or_index` inside a bitmap: entries below it that are set.
+  /// Overload on the raw bit for external (value v) vs heap index i use.
+  static constexpr std::uint32_t rank16(std::uint32_t bitmap, std::uint32_t index) noexcept {
+    return static_cast<std::uint32_t>(std::popcount(bitmap & ((1u << index) - 1u)));
+  }
+
+  /// Heap slot of the prefix inside its node: lengths 0..3 map to the
+  /// classic 15-slot complete binary heap, (1<<len)-1 + value.
+  static std::uint32_t internal_index(const Prefix<W>& prefix, std::size_t levels) noexcept {
+    const std::size_t rem = prefix.length % kStride;
+    std::uint32_t value = 0;
+    for (std::size_t b = 0; b < rem; ++b) {
+      value = (value << 1) | static_cast<std::uint32_t>(prefix.addr.bit(levels * kStride + b));
+    }
+    return (1u << rem) - 1u + value;
+  }
+
+  // rank16 above takes a heap/branch *index*; insert paths often have the
+  // bit instead — rank relative to a bit is rank of its index.
+  static constexpr std::uint32_t rank16_bit(std::uint32_t bitmap, std::uint32_t bit) noexcept {
+    return static_cast<std::uint32_t>(std::popcount(bitmap & (bit - 1u)));
+  }
+
+  // -- arena run management ------------------------------------------------
+  // Runs are recycled by exact size; no splitting or coalescing. Sizes are
+  // bounded (<=16 nodes, <=15 results) so fragmentation is bounded too.
+
+  std::uint32_t alloc_nodes(std::uint32_t count) {
+    auto& fl = free_node_runs_[count];
+    if (!fl.empty()) {
+      const std::uint32_t base = fl.back();
+      fl.pop_back();
+      return base;
+    }
+    const auto base = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.resize(nodes_.size() + count);
+    return base;
+  }
+
+  void free_nodes(std::uint32_t base, std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count; ++i) nodes_[base + i] = Node{};
+    free_node_runs_[count].push_back(base);
+  }
+
+  std::uint32_t alloc_results(std::uint32_t count) {
+    auto& fl = free_result_runs_[count];
+    if (!fl.empty()) {
+      const std::uint32_t base = fl.back();
+      fl.pop_back();
+      return base;
+    }
+    const auto base = static_cast<std::uint32_t>(results_.size());
+    results_.resize(results_.size() + count);
+    return base;
+  }
+
+  void free_results(std::uint32_t base, std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count; ++i) results_[base + i] = kNoRoute;
+    free_result_runs_[count].push_back(base);
+  }
+
+  /// Child of nodes_[pi] for branch v, creating it (and rewriting the
+  /// parent's child run) if absent. All access is index-based: alloc_nodes
+  /// may grow the arena and invalidate references.
+  std::uint32_t child_or_create(std::uint32_t pi, std::uint32_t v) {
+    const std::uint32_t bit = 1u << v;
+    const std::uint32_t ebm = nodes_[pi].external;
+    const std::uint32_t rank = rank16_bit(ebm, bit);
+    if (ebm & bit) return nodes_[pi].child_base + rank;
+    const auto count = static_cast<std::uint32_t>(std::popcount(ebm));
+    const std::uint32_t nb = alloc_nodes(count + 1);
+    const std::uint32_t ob = nodes_[pi].child_base;
+    for (std::uint32_t i = 0; i < rank; ++i) nodes_[nb + i] = nodes_[ob + i];
+    nodes_[nb + rank] = Node{};
+    for (std::uint32_t i = rank; i < count; ++i) nodes_[nb + i + 1] = nodes_[ob + i];
+    if (count != 0) free_nodes(ob, count);
+    nodes_[pi].external = static_cast<std::uint16_t>(ebm | bit);
+    nodes_[pi].child_base = nb;
+    return nb + rank;
+  }
+
+  void remove_child(std::uint32_t pi, std::uint32_t v) {
+    const std::uint32_t bit = 1u << v;
+    const std::uint32_t ebm = nodes_[pi].external;
+    const auto count = static_cast<std::uint32_t>(std::popcount(ebm));
+    const std::uint32_t rank = rank16_bit(ebm, bit);
+    const std::uint32_t ob = nodes_[pi].child_base;
+    std::uint32_t nb = 0;
+    if (count > 1) {
+      nb = alloc_nodes(count - 1);
+      for (std::uint32_t i = 0, j = 0; i < count; ++i) {
+        if (i == rank) continue;
+        nodes_[nb + j++] = nodes_[ob + i];
+      }
+    }
+    free_nodes(ob, count);
+    nodes_[pi].external = static_cast<std::uint16_t>(ebm & ~bit);
+    nodes_[pi].child_base = nb;
+  }
+
+  /// Insert `nh` at `rank` into nodes_[ni]'s result run (run grows by one).
+  /// Called *before* the internal bit is set, so popcount is the old count.
+  void grow_results(std::uint32_t ni, std::uint32_t rank, NextHop nh) {
+    const auto count = static_cast<std::uint32_t>(std::popcount(
+        static_cast<std::uint32_t>(nodes_[ni].internal)));
+    const std::uint32_t nb = alloc_results(count + 1);
+    const std::uint32_t ob = nodes_[ni].result_base;
+    for (std::uint32_t i = 0; i < rank; ++i) results_[nb + i] = results_[ob + i];
+    results_[nb + rank] = nh;
+    for (std::uint32_t i = rank; i < count; ++i) results_[nb + i + 1] = results_[ob + i];
+    if (count != 0) free_results(ob, count);
+    nodes_[ni].result_base = nb;
+  }
+
+  /// Drop the result at `rank`. Called *before* the internal bit is
+  /// cleared, so popcount is the count including the victim.
+  void shrink_results(std::uint32_t ni, std::uint32_t rank) {
+    const auto count = static_cast<std::uint32_t>(std::popcount(
+        static_cast<std::uint32_t>(nodes_[ni].internal)));
+    const std::uint32_t ob = nodes_[ni].result_base;
+    std::uint32_t nb = 0;
+    if (count > 1) {
+      nb = alloc_results(count - 1);
+      for (std::uint32_t i = 0, j = 0; i < count; ++i) {
+        if (i == rank) continue;
+        results_[nb + j++] = results_[ob + i];
+      }
+    }
+    free_results(ob, count);
+    nodes_[ni].result_base = nb;
+  }
+
+  std::vector<Node> nodes_;       // index 0 = root
+  std::vector<NextHop> results_;
+  std::array<std::vector<std::uint32_t>, 17> free_node_runs_;    // by run size
+  std::array<std::vector<std::uint32_t>, 16> free_result_runs_;  // by run size
+  std::size_t size_ = 0;
+};
+
+}  // namespace dip::fib

@@ -3,6 +3,7 @@
 #include "dip/fib/binary_trie.hpp"
 #include "dip/fib/dir24.hpp"
 #include "dip/fib/patricia.hpp"
+#include "dip/fib/tree_bitmap.hpp"
 
 namespace dip::fib {
 
@@ -17,6 +18,7 @@ std::unique_ptr<LpmTable<W>> make_lpm(LpmEngine engine) {
       } else {
         return nullptr;  // DIR-24-8 is IPv4-only
       }
+    case LpmEngine::kTreeBitmap: return std::make_unique<TreeBitmap<W>>();
   }
   return nullptr;
 }

@@ -332,7 +332,10 @@ void apply_churn(std::size_t step, ctrl::RouteJournal& journal,
                                  << " must publish exactly the fib32 snapshot";
 }
 
-TEST(Conformance, ChurnScheduleStaysConformantAcrossEngines) {
+/// The full churn schedule against one LPM engine choice: the seed tables
+/// (and therefore every journal-built clone) use `lpm_engine`, so the same
+/// byte-identity obligations certify each engine behind the RCU path.
+void run_churn_conformance(fib::LpmEngine lpm_engine) {
   constexpr std::size_t kChunks = 8;
   constexpr std::size_t kChunkLen = 512;  // kBatch-aligned
   static_assert(kChunkLen % w::kBatch == 0);
@@ -345,7 +348,7 @@ TEST(Conformance, ChurnScheduleStaysConformantAcrossEngines) {
 
   for (std::size_t e = 0; e < std::size(kinds); ++e) {
     const EngineKind kind = kinds[e];
-    SharedTables tables = make_shared_tables();
+    SharedTables tables = make_shared_tables(lpm_engine);
     const auto journal = attach_control(tables);
     const std::shared_ptr<core::OpRegistry> registry = make_registry(false);
     const auto engine = make_engine(kind, registry.get(),
@@ -417,6 +420,17 @@ TEST(Conformance, ChurnScheduleStaysConformantAcrossEngines) {
           << " at packet " << i << " under identical churn";
     }
   }
+}
+
+TEST(Conformance, ChurnScheduleStaysConformantAcrossEngines) {
+  run_churn_conformance(fib::LpmEngine::kPatricia);
+}
+
+// Same schedule with the compressed tree-bitmap FIB swapped in via the
+// RouterEnv seed tables (ISSUE 7): certifies the scale engine's lookup and
+// copy-on-write clone semantics end to end under live churn.
+TEST(Conformance, ChurnScheduleStaysConformantOnTreeBitmap) {
+  run_churn_conformance(fib::LpmEngine::kTreeBitmap);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
 
+#include "dip/core/ip.hpp"
+#include "dip/core/router_pool.hpp"
 #include "dip/crypto/random.hpp"
+#include "dip/ctrl/journal.hpp"
 #include "dip/fib/address.hpp"
 #include "dip/fib/binary_trie.hpp"
 #include "dip/fib/dir24.hpp"
 #include "dip/fib/lpm.hpp"
 #include "dip/fib/name_fib.hpp"
 #include "dip/fib/patricia.hpp"
+#include "dip/fib/synth.hpp"
+#include "dip/fib/tree_bitmap.hpp"
 #include "dip/fib/xid_table.hpp"
+#include "dip/netsim/topology.hpp"
 
 namespace dip::fib {
 namespace {
@@ -191,7 +197,7 @@ TEST_P(LpmEngineTest, AgreesWithOracleUnderRandomWorkload) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, LpmEngineTest,
                          ::testing::Values(LpmEngine::kBinaryTrie, LpmEngine::kPatricia,
-                                           LpmEngine::kDir24));
+                                           LpmEngine::kDir24, LpmEngine::kTreeBitmap));
 
 // ---------- IPv6 engines ----------
 
@@ -242,7 +248,8 @@ TEST_P(Lpm6EngineTest, OracleAgreement) {
 }
 
 INSTANTIATE_TEST_SUITE_P(TrieEngines, Lpm6EngineTest,
-                         ::testing::Values(LpmEngine::kBinaryTrie, LpmEngine::kPatricia));
+                         ::testing::Values(LpmEngine::kBinaryTrie, LpmEngine::kPatricia,
+                                           LpmEngine::kTreeBitmap));
 
 TEST(LpmFactory, Dir24IsIpv4Only) {
   EXPECT_EQ(make_lpm<128>(LpmEngine::kDir24), nullptr);
@@ -391,6 +398,233 @@ TEST_P(Lpm6EngineTest, CloneIsDeepV6) {
   table_->remove({addr, 32});
   EXPECT_FALSE(table_->lookup(addr));
   EXPECT_EQ(copy->lookup(addr).value(), 1u) << "clone must not share nodes";
+}
+
+// ---------- synthesized-scale parity (ISSUE 7) ----------
+//
+// The toy-scale suites above can't see density bugs: run/popcount
+// bookkeeping in the tree bitmap, extension-table churn in Dir24, junction
+// collapse in Patricia all only get exercised when prefixes nest and crowd
+// the way a real DFZ table does. synth::ipv4_table is the shared generator
+// bench_fib_scale sweeps with, so divergence here reproduces with the same
+// seed there.
+
+TEST(LpmEngines, SynthesizedParityAt10kPrefixes) {
+  const auto routes = synth::ipv4_table(10'000, 0xD1B);
+  BinaryTrie<32> oracle;
+  const LpmEngine others[] = {LpmEngine::kPatricia, LpmEngine::kDir24,
+                              LpmEngine::kTreeBitmap};
+  std::vector<std::unique_ptr<Ipv4Lpm>> tables;
+  for (const LpmEngine e : others) tables.push_back(make_lpm<32>(e));
+
+  // Default route under everything: random probes fall back to it, so the
+  // parity check also covers the fallback path end to end.
+  oracle.insert({{}, 0}, 9999);
+  for (auto& t : tables) t->insert({{}, 0}, 9999);
+
+  for (const auto& r : routes) {
+    const auto want = oracle.insert(r.prefix, r.nh);
+    for (auto& t : tables) EXPECT_EQ(t->insert(r.prefix, r.nh), want);
+  }
+  for (auto& t : tables) ASSERT_EQ(t->size(), oracle.size());
+
+  const auto probes = synth::probes(routes, 4096, 0xCAFE);
+  const auto probe_all = [&](const char* stage) {
+    for (const auto& a : probes) {
+      const auto want = oracle.lookup(a);
+      for (std::size_t i = 0; i < tables.size(); ++i) {
+        ASSERT_EQ(tables[i]->lookup(a), want)
+            << stage << ": engine " << static_cast<int>(others[i])
+            << " diverged at " << format_ipv4(a);
+      }
+    }
+  };
+  probe_all("after install");
+
+  // Remove a shuffled half — uncovering shadowed less-specifics as we go —
+  // then the probes must still agree everywhere.
+  crypto::Xoshiro256 rng(0x5EED);
+  std::vector<std::size_t> order(routes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (std::size_t i = 0; i < order.size() / 2; ++i) {
+    const auto want = oracle.remove(routes[order[i]].prefix);
+    for (auto& t : tables) EXPECT_EQ(t->remove(routes[order[i]].prefix), want);
+  }
+  probe_all("after half teardown");
+
+  // Withdraw the default route: probes outside every remaining prefix flip
+  // from 9999 to miss, identically across engines.
+  const auto want_def = oracle.remove({{}, 0});
+  for (auto& t : tables) EXPECT_EQ(t->remove({{}, 0}), want_def);
+  probe_all("after default withdrawal");
+}
+
+TEST(Lpm6Engines, SynthesizedParityV6) {
+  const auto routes = synth::ipv6_table(3'000, 0x6D1B);
+  BinaryTrie<128> oracle;
+  PatriciaTrie<128> patricia;
+  TreeBitmap<128> tree;
+  for (const auto& r : routes) {
+    const auto want = oracle.insert(r.prefix, r.nh);
+    EXPECT_EQ(patricia.insert(r.prefix, r.nh), want);
+    EXPECT_EQ(tree.insert(r.prefix, r.nh), want);
+  }
+  for (const auto& a : synth::probes(routes, 4096, 0x6CAFE)) {
+    const auto want = oracle.lookup(a);
+    ASSERT_EQ(patricia.lookup(a), want);
+    ASSERT_EQ(tree.lookup(a), want);
+  }
+}
+
+// ---------- tree bitmap structural properties ----------
+
+TEST(TreeBitmap, CloneIsIndependentAtEveryDepth) {
+  // A nested chain touching every stride level of the v4 walk: COW bugs
+  // that share arena runs between clone and original show up as one side
+  // seeing the other's rewrite at *some* depth.
+  TreeBitmap<32> table;
+  std::vector<Prefix<32>> chain;
+  for (std::uint8_t len = 0; len <= 32; len = static_cast<std::uint8_t>(len + 4)) {
+    Prefix<32> p{ipv4_from_u32(0x0A0A0A0Au), len};
+    p.normalize();
+    chain.push_back(p);
+    table.insert(p, len + 1u);
+  }
+  const auto copy = table.clone();
+
+  // An address whose longest match is exactly `p`: follow the chain for
+  // p.length bits, then diverge so no longer chain prefix covers it.
+  const auto probe_for = [](const Prefix<32>& p) {
+    Ipv4Addr a = ipv4_from_u32(0x0A0A0A0Au);
+    if (p.length < 32) a.set_bit(p.length, !a.bit(p.length));
+    return a;
+  };
+
+  // Rewrite every level in the original; the clone must keep the old hops.
+  for (const auto& p : chain) table.insert(p, 500u + p.length);
+  for (const auto& p : chain) {
+    EXPECT_EQ(copy->lookup(probe_for(p)).value(), p.length + 1u);
+    EXPECT_EQ(table.lookup(probe_for(p)).value(), 500u + p.length);
+  }
+  // Remove odd levels from the clone; the original keeps its rewrites.
+  for (std::size_t i = 1; i < chain.size(); i += 2) copy->remove(chain[i]);
+  for (const auto& p : chain) {
+    EXPECT_EQ(table.lookup(probe_for(p)).value(), 500u + p.length);
+  }
+}
+
+TEST(TreeBitmap, ArenaReachesSteadyStateUnderFlap) {
+  // Run-recycling property: flapping the same route subset must not grow
+  // the arenas without bound (the free lists hand runs back by size).
+  TreeBitmap<32> table;
+  const auto routes = synth::ipv4_table(5'000, 0xF1AB);
+  for (const auto& r : routes) table.insert(r.prefix, r.nh);
+
+  std::size_t after_cycle = 0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (std::size_t i = 0; i < routes.size(); i += 3) {
+      table.remove(routes[i].prefix);
+    }
+    for (std::size_t i = 0; i < routes.size(); i += 3) {
+      table.insert(routes[i].prefix, routes[i].nh);
+    }
+    const std::size_t now = table.memory_bytes();
+    if (cycle >= 2) {
+      EXPECT_EQ(now, after_cycle)
+          << "arena grew on flap cycle " << cycle << " — free-list leak";
+    }
+    after_cycle = now;
+  }
+  EXPECT_EQ(table.size(), routes.size());
+}
+
+TEST(TreeBitmap, MemoryAccountingIsCompressed) {
+  // The headline property: bytes/prefix at synthesized density must come in
+  // far below the pointer tries (exact numbers live in BENCH_fib_scale.json;
+  // this guards the order of magnitude).
+  TreeBitmap<32> tree;
+  PatriciaTrie<32> patricia;
+  const auto routes = synth::ipv4_table(10'000, 0xBEEF);
+  for (const auto& r : routes) {
+    tree.insert(r.prefix, r.nh);
+    patricia.insert(r.prefix, r.nh);
+  }
+  const double tree_bpp = static_cast<double>(tree.memory_bytes()) /
+                          static_cast<double>(tree.size());
+  const double pat_bpp = static_cast<double>(patricia.memory_bytes()) /
+                         static_cast<double>(patricia.size());
+  EXPECT_LT(tree_bpp, 64.0) << "tree bitmap should spend tens of bytes/prefix";
+  EXPECT_LT(tree_bpp, pat_bpp) << "compression must beat the pointer trie";
+  EXPECT_GE(tree.lookup_depth(routes[0].prefix.addr), 1u);
+}
+
+// ---------- tree bitmap behind the RCU churn path (TSan leg) ----------
+
+std::vector<std::uint8_t> churn_packet(std::uint32_t dst) {
+  return core::make_dip32_header(fib::ipv4_from_u32(dst),
+                                 fib::ipv4_from_u32(0x7F000001))
+      ->serialize();
+}
+
+// Mirror of ctrl_test's CtrlRace churn regression with the compressed
+// engine behind the snapshots and a synthesized 10k-route table, so each
+// flush clones a realistically sized arena while RouterPool workers
+// forward (scripts/check.sh runs fib_test in the TSan leg for this test).
+TEST(TreeBitmapChurn, PoolForwardsDuringTreeBitmapJournalFlush) {
+  auto tables = std::make_shared<ctrl::ControlTables>();
+  ctrl::RouteJournal journal(tables);
+  const auto seed_fib = make_lpm<32>(LpmEngine::kTreeBitmap);
+  seed_fib->insert({ipv4_from_u32(0x0A000000), 8}, 1);
+  for (const auto& r : synth::ipv4_table(10'000, 0x7B)) {
+    seed_fib->insert(r.prefix, r.nh);
+  }
+  journal.seed(seed_fib.get());
+
+  const auto registry = netsim::make_default_registry();
+  const auto envf = [&tables](std::size_t worker) {
+    core::RouterEnv env;
+    env.node_id = static_cast<std::uint32_t>(worker);
+    env.control = tables;
+    env.ctrl_reader = tables->register_reader();
+    env.flow_cache = std::make_unique<core::FlowCache>();
+    env.default_egress.reset();
+    return env;
+  };
+  core::RouterPoolConfig cfg;
+  cfg.workers = 2;
+
+  {
+    core::RouterPool pool(registry.get(), envf, cfg);
+    const Prefix<32> flap{ipv4_from_u32(0x0A400000), 10};
+    std::uint32_t salt = 0;
+    for (int round = 0; round < 60; ++round) {
+      for (int i = 0; i < 16; ++i) {
+        pool.submit(churn_packet(0x0A000000 + (salt++ & 0x7fffff)), 0,
+                    static_cast<SimTime>(round) * kMicrosecond);
+      }
+      if (round % 2 == 0) {
+        journal.add_route32(flap, 2);
+      } else {
+        journal.remove_route32(flap);
+      }
+      journal.flush();
+    }
+    pool.drain();
+    EXPECT_GE(tables->domain.reclaimed_total(), 1u)
+        << "grace periods must elapse while traffic flows";
+    pool.stop();
+  }
+
+  journal.flush();
+  EXPECT_EQ(tables->domain.backlog(), 0u);
+  const Ipv4Lpm* fib = tables->fib32.read();
+  ASSERT_NE(fib, nullptr);
+  EXPECT_EQ(fib->lookup(ipv4_from_u32(0x0A000001)), std::uint32_t{1});
+  EXPECT_GT(journal.stats().last_flush_ns, 0u)
+      << "publishing flushes must record their latency";
 }
 
 // ---------- Name / NameFib ----------
