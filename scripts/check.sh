@@ -2,10 +2,11 @@
 # Full verification pipeline: release build + tests + benches, then an
 # ASan/UBSan build + tests. This is what CI should run.
 #
-#   --fast   docs check + release build + the unit/property/ctrl/fib test
-#            tiers only (see docs/TESTING.md): the inner-loop lane, no
+#   --fast   docs check + release build + the unit/property/ctrl/fib/mesh
+#            test tiers only (see docs/TESTING.md): the inner-loop lane, no
 #            benches, no sanitizer rebuilds. `ctest -L fib` alone slices
-#            just the FIB-engine lane (docs/FIB.md).
+#            just the FIB-engine lane (docs/FIB.md); `ctest -L mesh` the
+#            UDP mesh lane (docs/MESH.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,8 +53,8 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release \
 cmake --build build
 
 if [ "$FAST" -eq 1 ]; then
-  echo "== tests (--fast: unit + property + ctrl + fib tiers) =="
-  ctest --test-dir build -L "unit|property|ctrl|fib" --output-on-failure
+  echo "== tests (--fast: unit + property + ctrl + fib + mesh tiers) =="
+  ctest --test-dir build -L "unit|property|ctrl|fib|mesh" --output-on-failure
   echo "FAST CHECKS PASSED"
   exit 0
 fi
@@ -92,14 +93,16 @@ echo "== TSan build (RouterPool / SpscRing concurrency + chaos harness) =="
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
   >/dev/null
 cmake --build build-tsan --target pipeline_test stats_test chaos_test \
-  differential_test conformance_test ctrl_test fib_test
+  differential_test conformance_test ctrl_test fib_test mesh_test
 
-echo "== pipeline + stats + chaos + differential + conformance + ctrl + fib-churn tests under TSan =="
+echo "== pipeline + stats + chaos + differential + conformance + ctrl + fib-churn + mesh tests under TSan =="
 # fib_churn_test runs only the TreeBitmapChurn pool-under-journal-flush
 # suite (docs/FIB.md) — full fib_test under TSan would mostly re-run
-# single-threaded engine oracles at 10x cost.
+# single-threaded engine oracles at 10x cost. mesh_test includes the
+# real-UDP two-thread router exchange (docs/MESH.md) — the thread-
+# confinement contract's race probe.
 ctest --test-dir build-tsan \
-  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test|ctrl_test|fib_churn_test" \
+  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test|ctrl_test|fib_churn_test|mesh_test" \
   --output-on-failure
 
 echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="

@@ -43,6 +43,8 @@ class ReliableSender {
  public:
   using PacketFactory = std::function<netsim::PacketBytes(std::uint32_t attempt)>;
   using FailureHandler = std::function<void()>;
+  /// Opaque token naming one send() request; responses must quote it back.
+  using Epoch = std::uint64_t;
 
   /// `node` must outlive the sender and be attached to a network.
   ReliableSender(netsim::HostNode& node, netsim::FaceId face,
@@ -51,11 +53,22 @@ class ReliableSender {
 
   /// Transmit factory(0) now; retransmit on each timeout until
   /// acknowledge(), then give up after max_retries and fire `on_failure`.
-  /// A new send() supersedes any request still in flight.
-  void send(PacketFactory factory, FailureHandler on_failure = {});
+  /// A new send() supersedes any request still in flight. Returns the
+  /// epoch token for acknowledging this request.
+  Epoch send(PacketFactory factory, FailureHandler on_failure = {});
 
-  /// The response arrived; cancel retransmission.
-  void acknowledge() noexcept { pending_ = false; }
+  /// The response for `epoch` arrived; cancel its retransmission. A stale
+  /// token — e.g. a link-duplicated ACK of a request the sender has since
+  /// superseded — is ignored, so a late duplicate can never cancel a newer
+  /// in-flight send. Returns true iff this call retired the request.
+  bool acknowledge(Epoch epoch) noexcept {
+    if (!pending_ || epoch != epoch_) return false;
+    pending_ = false;
+    return true;
+  }
+
+  /// Token of the most recent send() (what a fresh ACK should quote).
+  [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
 
   [[nodiscard]] bool pending() const noexcept { return pending_; }
   [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retx_; }

@@ -2,14 +2,16 @@
 
 namespace dip::host {
 
-void ReliableSender::send(PacketFactory factory, FailureHandler on_failure) {
+ReliableSender::Epoch ReliableSender::send(PacketFactory factory,
+                                           FailureHandler on_failure) {
   factory_ = std::move(factory);
   on_failure_ = std::move(on_failure);
   pending_ = true;
   attempt_ = 0;
-  const std::uint64_t epoch = ++epoch_;
+  const Epoch epoch = ++epoch_;
   node_.send(face_, factory_(0));
   arm(epoch);
+  return epoch;
 }
 
 void ReliableSender::arm(std::uint64_t epoch) {

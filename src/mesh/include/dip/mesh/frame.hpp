@@ -1,0 +1,75 @@
+// Mesh wire framing: one DIP packet (or control message) per UDP datagram.
+//
+// netsim moves PacketBytes between nodes by function call; the mesh moves
+// them between processes, so every datagram carries a 20-byte frame header
+// in front of the DipHeader::serialize() bytes:
+//
+//   +----------------------------- frame header (20 B) -------------------+
+//   | magic:16 | version:8 | type:8 | src_node:32 | seq:64 | len:16 |     |
+//   | check:8 | reserved:8                                                |
+//   +----------------------------------------------------------------------
+//   | payload (len bytes): a serialized DIP packet, a gossip HELLO, ...   |
+//   +----------------------------------------------------------------------
+//
+// `seq` counts frames per transmitting half-link, so receivers can detect
+// wire loss/duplication independently of the impairment layer's own
+// accounting, and the conformance harness can run exactly-once stop-and-wait
+// over a lossy transport. `check` is the same XOR style the DIP basic header
+// uses (domain-separated, over the first 18 bytes).
+//
+// Decode distinguishes the two ways a datagram can be damaged in flight:
+//   * kTruncated — fewer bytes than the header, or than header+len, arrived
+//     (a short read, or recvfrom() clipped the datagram into our buffer);
+//   * kMalformed — bad magic/version/checksum, or MORE bytes than
+//     header+len (an oversized datagram cannot be reframed safely).
+//
+// Deployment model and impairment semantics: docs/MESH.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dip/bytes/expected.hpp"
+
+namespace dip::mesh {
+
+/// What the payload is.
+enum class FrameType : std::uint8_t {
+  kData = 1,     ///< a serialized DIP packet for the forwarding path
+  kHello = 2,    ///< gossip: node id + UDP port + bootstrap capability set
+  kVerdict = 3,  ///< conformance harness: verdict image + rewritten bytes
+  kBye = 4,      ///< conformance harness: orderly shutdown
+};
+
+struct FrameHeader {
+  static constexpr std::size_t kWireSize = 20;
+  static constexpr std::uint16_t kMagic = 0xD1FA;
+  static constexpr std::uint8_t kVersion = 1;
+  /// Generous bound for one datagram: DIP headers are ≤ ~1.1 kB and mesh
+  /// payloads stay well under loopback MTU; anything larger is hostile.
+  static constexpr std::size_t kMaxPayload = 8 * 1024;
+
+  FrameType type = FrameType::kData;
+  std::uint32_t src_node = 0;  ///< transmitting node id
+  std::uint64_t seq = 0;       ///< per-half-link frame counter
+  std::uint16_t payload_len = 0;
+};
+
+/// A decoded frame; `payload` aliases the datagram buffer passed to decode.
+struct Frame {
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Serialize header + payload into one datagram buffer.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::uint32_t src_node, std::uint64_t seq,
+    std::span<const std::uint8_t> payload);
+
+/// Parse the front of `datagram`. Errors: kTruncated (short), kMalformed
+/// (bad magic/version/checksum, oversized payload_len, or trailing bytes).
+[[nodiscard]] bytes::Result<Frame> decode_frame(
+    std::span<const std::uint8_t> datagram);
+
+}  // namespace dip::mesh

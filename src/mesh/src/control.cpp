@@ -1,0 +1,99 @@
+#include "dip/mesh/control.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dip::mesh {
+
+fib::Ipv4Addr addr_of(std::uint32_t node) noexcept {
+  return fib::ipv4_from_u32((10u << 24) | ((node & 0xFFFFu) << 8) | 1u);
+}
+
+fib::Prefix<32> prefix_of(std::uint32_t node) noexcept {
+  fib::Prefix<32> p{fib::ipv4_from_u32((10u << 24) | ((node & 0xFFFFu) << 8)), 24};
+  p.normalize();
+  return p;
+}
+
+namespace {
+
+/// Both endpoints must advertise the edge (see header comment).
+[[nodiscard]] bool symmetric_edge(const LinkStateDb& lsdb, std::uint32_t a,
+                                  std::uint32_t b) {
+  const auto ia = lsdb.find(a);
+  const auto ib = lsdb.find(b);
+  if (ia == lsdb.end() || ib == lsdb.end()) return false;
+  const auto& na = ia->second.neighbors;
+  const auto& nb = ib->second.neighbors;
+  return std::binary_search(na.begin(), na.end(), b) &&
+         std::binary_search(nb.begin(), nb.end(), a);
+}
+
+}  // namespace
+
+std::map<std::uint32_t, std::uint32_t> compute_next_hops(const LinkStateDb& lsdb,
+                                                         std::uint32_t self) {
+  std::map<std::uint32_t, std::uint32_t> first_hop;  // dest -> neighbor of self
+  if (!lsdb.contains(self)) return first_hop;
+
+  // BFS layer by layer; neighbors are stored sorted, so the first parent to
+  // claim a node is the one with the smallest first-hop id at minimal depth.
+  std::map<std::uint32_t, std::uint32_t> via;  // node -> first hop used
+  std::deque<std::uint32_t> frontier{self};
+  via[self] = self;
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop_front();
+    const auto it = lsdb.find(u);
+    if (it == lsdb.end()) continue;
+    for (const std::uint32_t v : it->second.neighbors) {
+      if (via.contains(v) || !symmetric_edge(lsdb, u, v)) continue;
+      via[v] = u == self ? v : via[u];
+      first_hop[v] = via[v];
+      frontier.push_back(v);
+    }
+  }
+  return first_hop;
+}
+
+std::size_t publish_routes(MeshRouter& router, FaceId local_face) {
+  const std::uint32_t self = router.node_id();
+  const auto hops = compute_next_hops(router.lsdb(), self);
+  ctrl::RouteJournal& journal = router.journal();
+
+  std::size_t routed = 0;
+  journal.add_route32(prefix_of(self), local_face);
+  ++routed;
+  for (const auto& [origin, lsa] : router.lsdb()) {
+    if (origin == self) continue;
+    const auto hop = hops.find(origin);
+    const auto face = hop != hops.end()
+                          ? router.face_toward(hop->second)
+                          : std::nullopt;
+    if (face) {
+      journal.add_route32(prefix_of(origin), *face);
+      ++routed;
+    } else {
+      journal.remove_route32(prefix_of(origin));  // unreachable: withdraw
+    }
+  }
+  journal.flush();
+  return routed;
+}
+
+bootstrap::AsGraph as_graph_of(const LinkStateDb& lsdb) {
+  bootstrap::AsGraph graph;
+  for (const auto& [origin, lsa] : lsdb) {
+    graph.add_as(origin, lsa.capabilities);
+  }
+  for (const auto& [origin, lsa] : lsdb) {
+    for (const std::uint32_t n : lsa.neighbors) {
+      if (origin < n && symmetric_edge(lsdb, origin, n)) {
+        (void)graph.add_link(origin, n);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace dip::mesh

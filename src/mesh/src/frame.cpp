@@ -1,0 +1,97 @@
+#include "dip/mesh/frame.hpp"
+
+namespace dip::mesh {
+
+namespace {
+
+/// XOR check over the first 18 header bytes, domain-separated from the DIP
+/// basic-header checksum so a frame header never verifies as a DIP header.
+[[nodiscard]] std::uint8_t frame_checksum(
+    std::span<const std::uint8_t> first18) noexcept {
+  std::uint8_t x = 0x5C;
+  for (std::size_t i = 0; i < 18 && i < first18.size(); ++i) x ^= first18[i];
+  return x;
+}
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+  put32(out, static_cast<std::uint32_t>(v));
+}
+
+[[nodiscard]] std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+[[nodiscard]] std::uint32_t get32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(get16(p)) << 16) | get16(p + 2);
+}
+
+[[nodiscard]] std::uint64_t get64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(get32(p)) << 32) | get32(p + 4);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t src_node,
+                                       std::uint64_t seq,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(FrameHeader::kWireSize + payload.size());
+  put16(out, FrameHeader::kMagic);
+  out.push_back(FrameHeader::kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put32(out, src_node);
+  put64(out, seq);
+  put16(out, static_cast<std::uint16_t>(payload.size()));
+  out.push_back(frame_checksum(out));
+  out.push_back(0);  // reserved
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bytes::Result<Frame> decode_frame(std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < FrameHeader::kWireSize) {
+    return bytes::Err(bytes::Error::kTruncated);
+  }
+  if (get16(datagram.data()) != FrameHeader::kMagic ||
+      datagram[2] != FrameHeader::kVersion || datagram[19] != 0) {
+    return bytes::Err(bytes::Error::kMalformed);
+  }
+  if (datagram[18] != frame_checksum(datagram.subspan(0, 18))) {
+    return bytes::Err(bytes::Error::kChecksum);
+  }
+  Frame f;
+  f.header.type = static_cast<FrameType>(datagram[3]);
+  switch (f.header.type) {
+    case FrameType::kData:
+    case FrameType::kHello:
+    case FrameType::kVerdict:
+    case FrameType::kBye:
+      break;
+    default:
+      return bytes::Err(bytes::Error::kMalformed);
+  }
+  f.header.src_node = get32(datagram.data() + 4);
+  f.header.seq = get64(datagram.data() + 8);
+  f.header.payload_len = get16(datagram.data() + 16);
+  if (f.header.payload_len > FrameHeader::kMaxPayload) {
+    return bytes::Err(bytes::Error::kMalformed);
+  }
+  const std::size_t want = FrameHeader::kWireSize + f.header.payload_len;
+  if (datagram.size() < want) return bytes::Err(bytes::Error::kTruncated);
+  if (datagram.size() > want) return bytes::Err(bytes::Error::kMalformed);
+  f.payload = datagram.subspan(FrameHeader::kWireSize, f.header.payload_len);
+  return f;
+}
+
+}  // namespace dip::mesh

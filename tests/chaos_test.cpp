@@ -503,13 +503,14 @@ TEST(Chaos, OptTrafficSurvivesInjectedLossWithReliableSender) {
   policy.backoff = 2.0;
   policy.max_timeout = 100 * kMillisecond;
   host::ReliableSender sender_driver(client, client_face, policy);
+  host::ReliableSender::Epoch request_epoch = 0;
   bool acked = false;
   bool gave_up = false;
   client.set_receiver([&](netsim::FaceId, netsim::PacketBytes, SimTime) {
     acked = true;
-    sender_driver.acknowledge();
+    sender_driver.acknowledge(request_epoch);
   });
-  sender_driver.send(
+  request_epoch = sender_driver.send(
       [&](std::uint32_t) {
         // Fresh tags per attempt: each traversal rewrites the OPT chain.
         auto wire = opt::make_opt_header(session, payload, 1234)->serialize();

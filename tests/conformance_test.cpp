@@ -12,16 +12,25 @@
 //      spec divergences and shrinks them to a minimal reproducer,
 //   5. the coverage ledger proves the streams exercised every op key, every
 //      action, and every drop reason.
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "dip/core/router_pool.hpp"
+#include "dip/mesh/frame.hpp"
+#include "dip/mesh/socket.hpp"
 #include "proptest/proptest.hpp"
 #include "support/conformance.hpp"
 
@@ -242,6 +251,195 @@ TEST(Conformance, PoolStrict) {
 TEST(Conformance, PoolLenient) {
   run_stream_conformance(EngineKind::kPool, core::ValidationMode::kLenient,
                          proptest::gen::make_conformance_stream(kSeed + 5, kStreamLen));
+}
+
+// ---------------------------------------------------------------------------
+// 2c. Scale-out: the same byte-identity obligation across a 2-PROCESS UDP
+// pair. The parent is the driver + refmodel oracle; a fork()ed child runs a
+// production scalar engine behind mesh framing (kData request / kVerdict
+// reply, per-frame seq). Transport is stop-and-wait with retransmission and
+// seq-based dedupe — exactly-once engine execution even if loopback sheds a
+// datagram — so the child's stateful modules (PIT, flow cache) see the
+// stream in exactly the order the oracle does. now/ingress are derived from
+// the frame seq on BOTH sides (w::now_of / w::ingress_of), keeping the two
+// processes' worlds identical without a side channel.
+// ---------------------------------------------------------------------------
+
+namespace udp_pair {
+
+constexpr std::uint32_t kParentNode = 1;
+constexpr std::uint32_t kChildNode = 2;
+
+/// kVerdict payload: action:8 reason:8 offending:16 cache:8 negress:8
+/// egress:32 each, then the rewritten packet bytes.
+std::vector<std::uint8_t> encode_verdict_payload(const VerdictImage& v,
+                                                 const Packet& rewritten) {
+  std::vector<std::uint8_t> out;
+  out.reserve(7 + v.egress.size() * 4 + rewritten.size());
+  out.push_back(static_cast<std::uint8_t>(v.action));
+  out.push_back(static_cast<std::uint8_t>(v.reason));
+  out.push_back(static_cast<std::uint8_t>(v.offending_key >> 8));
+  out.push_back(static_cast<std::uint8_t>(v.offending_key));
+  out.push_back(v.respond_from_cache ? 1 : 0);
+  out.push_back(static_cast<std::uint8_t>(v.egress.size()));
+  for (const std::uint32_t e : v.egress) {
+    for (int b = 3; b >= 0; --b) out.push_back(static_cast<std::uint8_t>(e >> (8 * b)));
+  }
+  out.insert(out.end(), rewritten.begin(), rewritten.end());
+  return out;
+}
+
+std::optional<std::pair<VerdictImage, Packet>> decode_verdict_payload(
+    std::span<const std::uint8_t> p) {
+  if (p.size() < 6) return std::nullopt;
+  VerdictImage v;
+  v.action = p[0];
+  v.reason = p[1];
+  v.offending_key = static_cast<std::uint16_t>((p[2] << 8) | p[3]);
+  v.respond_from_cache = p[4] != 0;
+  const std::size_t negress = p[5];
+  if (p.size() < 6 + negress * 4) return std::nullopt;
+  for (std::size_t i = 0; i < negress; ++i) {
+    const std::uint8_t* q = p.data() + 6 + i * 4;
+    v.egress.push_back((static_cast<std::uint32_t>(q[0]) << 24) |
+                       (static_cast<std::uint32_t>(q[1]) << 16) |
+                       (static_cast<std::uint32_t>(q[2]) << 8) | q[3]);
+  }
+  return std::make_pair(std::move(v),
+                        Packet(p.begin() + 6 + static_cast<std::ptrdiff_t>(negress * 4),
+                               p.end()));
+}
+
+/// The child: a production scalar engine served over UDP. Exits 0 on kBye,
+/// nonzero on protocol breakage or 30 s of silence (orphan safety). Plain
+/// exit codes, not gtest — assertions in a fork()ed child don't reach the
+/// parent's test result.
+[[noreturn]] void serve_child(mesh::UdpSocket& sock, core::ValidationMode mode) {
+  const SharedTables tables = make_shared_tables();
+  const std::shared_ptr<core::OpRegistry> registry = make_registry(false);
+  const auto engine = make_engine(EngineKind::kScalar, registry.get(),
+                                  make_env_factory(tables), mode);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  std::uint64_t next_seq = 0;
+  std::uint64_t last_seq = ~std::uint64_t{0};
+  std::vector<std::uint8_t> last_reply;
+  for (;;) {
+    pollfd pfd{sock.fd(), POLLIN, 0};
+    if (::poll(&pfd, 1, 30'000) <= 0) ::_exit(2);
+    for (;;) {
+      const mesh::RecvOutcome out = sock.recv_from(buf);
+      if (out.status != mesh::IoStatus::kOk) break;
+      const auto frame =
+          mesh::decode_frame(std::span(buf.data(), std::min(out.size, buf.size())));
+      if (!frame) continue;
+      if (frame->header.type == mesh::FrameType::kBye) ::_exit(0);
+      if (frame->header.type != mesh::FrameType::kData) continue;
+      const std::uint64_t seq = frame->header.seq;
+      if (seq == last_seq && !last_reply.empty()) {
+        // Our reply was lost and the request retransmitted: resend the
+        // cached verdict, do NOT rerun the engine (exactly-once).
+        (void)sock.send_to(out.from, last_reply);
+        continue;
+      }
+      if (seq != next_seq) continue;  // outside the stop-and-wait window
+      std::vector<Packet> prod{Packet(frame->payload.begin(), frame->payload.end())};
+      const SimTime now = w::now_of(seq);
+      const core::FaceId ingress = w::ingress_of(seq);
+      const auto results = engine->run(prod, {&now, 1}, {&ingress, 1});
+      if (results.size() != 1) ::_exit(3);
+      last_reply = mesh::encode_frame(mesh::FrameType::kVerdict, kChildNode, seq,
+                                      encode_verdict_payload(image_of(results[0]), prod[0]));
+      last_seq = seq;
+      ++next_seq;
+      (void)sock.send_to(out.from, last_reply);
+    }
+  }
+}
+
+void run_udp_pair_conformance(core::ValidationMode mode,
+                              const std::vector<Packet>& stream) {
+  auto parent_sock = std::make_unique<mesh::UdpSocket>();
+  auto child_sock = std::make_unique<mesh::UdpSocket>();
+  const mesh::Endpoint child_ep = child_sock->local_endpoint();
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) serve_child(*child_sock, mode);  // never returns
+
+  const bool lenient = mode == core::ValidationMode::kLenient;
+  refmodel::RefNode ref = make_ref_node(lenient);
+  std::vector<std::uint8_t> buf(64 * 1024);
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto request =
+        mesh::encode_frame(mesh::FrameType::kData, kParentNode, i, stream[i]);
+    std::optional<std::pair<VerdictImage, Packet>> reply;
+    for (int attempt = 0; attempt < 50 && !reply; ++attempt) {
+      ASSERT_EQ(parent_sock->send_to(child_ep, request), mesh::IoStatus::kOk);
+      pollfd pfd{parent_sock->fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, 200) <= 0) continue;  // timed out: retransmit
+      for (;;) {
+        const mesh::RecvOutcome out = parent_sock->recv_from(buf);
+        if (out.status != mesh::IoStatus::kOk) break;
+        const auto frame = mesh::decode_frame(
+            std::span(buf.data(), std::min(out.size, buf.size())));
+        if (!frame || frame->header.type != mesh::FrameType::kVerdict) continue;
+        if (frame->header.seq != i) continue;  // stale duplicate from seq i-1
+        reply = decode_verdict_payload(frame->payload);
+        break;
+      }
+    }
+    ASSERT_TRUE(reply.has_value())
+        << "udp-pair: no verdict for packet " << i << " after retransmissions";
+
+    Packet ref_packet = stream[i];
+    const refmodel::RefVerdict rv = ref.process(ref_packet, w::ingress_of(i), w::now_of(i));
+    const VerdictImage want = image_of(rv);
+    ASSERT_EQ(reply->first, want)
+        << "udp-pair" << (lenient ? "/lenient" : "/strict")
+        << " verdict diverged at packet " << i << "\n  remote engine "
+        << to_string(reply->first) << "\n  refmodel     " << to_string(want)
+        << "\n  packet " << dump_packet(stream[i]);
+    ASSERT_EQ(reply->second, ref_packet)
+        << "udp-pair" << (lenient ? "/lenient" : "/strict")
+        << " rewritten bytes diverged at packet " << i << "\n  remote engine "
+        << dump_packet(reply->second) << "\n  refmodel     "
+        << dump_packet(ref_packet) << "\n  input " << dump_packet(stream[i]);
+    coverage().actions.insert(reply->first.action);
+    coverage().reasons.insert(reply->first.reason);
+  }
+  merge_ledger(ref.ledger());
+
+  // Orderly shutdown: BYE until the child exits (it may be mid-poll).
+  const auto bye =
+      mesh::encode_frame(mesh::FrameType::kBye, kParentNode, stream.size(), {});
+  int status = 0;
+  for (int i = 0; i < 500; ++i) {
+    (void)parent_sock->send_to(child_ep, bye);
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+          << "child exited abnormally (status " << status << ")";
+      return;
+    }
+    ::usleep(10'000);
+  }
+  ::kill(pid, SIGKILL);
+  (void)::waitpid(pid, &status, 0);
+  FAIL() << "udp-pair child did not exit on BYE";
+}
+
+}  // namespace udp_pair
+
+TEST(Conformance, UdpPairStrict) {
+  udp_pair::run_udp_pair_conformance(
+      core::ValidationMode::kStrict,
+      proptest::gen::make_conformance_stream(kSeed + 40, kStreamLen));
+}
+
+TEST(Conformance, UdpPairLenient) {
+  udp_pair::run_udp_pair_conformance(
+      core::ValidationMode::kLenient,
+      proptest::gen::make_conformance_stream(kSeed + 41, kStreamLen));
 }
 
 // ---------------------------------------------------------------------------

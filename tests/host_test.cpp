@@ -5,6 +5,7 @@
 #include "dip/core/ip.hpp"
 #include "dip/host/host_engine.hpp"
 #include "dip/host/ndn_app.hpp"
+#include "dip/host/retry.hpp"
 #include "dip/netsim/topology.hpp"
 #include "dip/telemetry/telemetry.hpp"
 
@@ -109,6 +110,54 @@ TEST_F(HostEngineFixture, FreshnessWindowEnforced) {
   EXPECT_EQ(engine.receive(packet).status, DeliveryStatus::kVerifyFailed);
   engine.set_freshness(1050, 100);
   EXPECT_EQ(engine.receive(packet).status, DeliveryStatus::kDelivered);
+}
+
+TEST(ReliableSender, DuplicateAckFromEarlierEpochCannotCancelNewerSend) {
+  // Regression: chaos links duplicate ACKs, and a late copy of an old ACK
+  // used to cancel whatever newer request was in flight (acknowledge()
+  // cleared pending_ unconditionally). Acknowledgement is now deduped by
+  // the epoch token send() returns.
+  netsim::Network net(7);
+  netsim::HostNode client, server;
+  net.add_node(client);
+  net.add_node(server);
+  const auto [client_face, server_face] = net.connect(client, server);
+  (void)server_face;
+
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.initial_timeout = 10 * kMillisecond;
+  ReliableSender sender(client, client_face, policy);
+
+  const auto first =
+      sender.send([](std::uint32_t) { return netsim::PacketBytes{'A'}; });
+  EXPECT_TRUE(sender.pending());
+  EXPECT_TRUE(sender.acknowledge(first));   // the genuine ACK retires it
+  EXPECT_FALSE(sender.pending());
+  EXPECT_FALSE(sender.acknowledge(first));  // a duplicate of it is a no-op
+
+  bool second_failed = false;
+  const auto second =
+      sender.send([](std::uint32_t) { return netsim::PacketBytes{'B'}; },
+                  [&] { second_failed = true; });
+  EXPECT_NE(first, second);
+  // A link-duplicated copy of the first ACK lands after the sender moved
+  // on; it must not cancel the in-flight second request.
+  EXPECT_FALSE(sender.acknowledge(first));
+  EXPECT_TRUE(sender.pending());
+
+  // The second request's retransmission schedule survived the stale ACK:
+  // unacknowledged, it retries to budget exhaustion and reports failure.
+  net.run();
+  EXPECT_EQ(sender.retransmissions(), 2u);
+  EXPECT_TRUE(second_failed);
+  EXPECT_FALSE(sender.pending());
+
+  // A fresh epoch still acknowledges normally.
+  const auto third =
+      sender.send([](std::uint32_t) { return netsim::PacketBytes{'C'}; });
+  EXPECT_TRUE(sender.acknowledge(third));
+  EXPECT_FALSE(sender.pending());
 }
 
 TEST(HostEngine, PlainPacketDeliversWithoutVerification) {
