@@ -19,9 +19,12 @@
 //   5. the FIB engine catalogue over one synthesized route table — per-
 //      engine footprint and lookup-depth quantiles, the dip_fib_* series
 //      (docs/FIB.md);
-//   6. the full Prometheus-style text exposition (written to the optional
+//   6. the PISA stage-budget fit matrix over the six Table-1 compositions
+//      — hardware deployability verdicts, the dip_pisa_* series
+//      (docs/PISA.md);
+//   7. the full Prometheus-style text exposition (written to the optional
 //      file argument, else printed), composed through a StatsRegistry that
-//      carries pool, node, network, control-plane, and FIB sections.
+//      carries pool, node, network, control-plane, FIB, and PISA sections.
 //
 // The metric catalogue is documented in docs/OBSERVABILITY.md.
 #include <algorithm>
@@ -40,6 +43,8 @@
 #include "dip/netsim/dip_node.hpp"
 #include "dip/netsim/topology.hpp"
 #include "dip/netsim/traffic.hpp"
+#include "dip/pisa/compiler.hpp"
+#include "dip/pisa/table1.hpp"
 #include "dip/telemetry/exposition.hpp"
 
 namespace {
@@ -363,8 +368,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- 6. Full exposition page via a StatsRegistry: pool + node + --------
-  // --- network + control plane + FIB. ------------------------------------
+  // --- 6. Hardware fit verdicts: the PISA stage-budget compiler over the --
+  // --- Table-1 compositions (docs/PISA.md, examples/dip_fit). -------------
+  struct PisaRow {
+    std::string name;
+    pisa::PlacementReport report;
+  };
+  std::vector<PisaRow> pisa_rows;
+  {
+    const pisa::StageCompiler compiler;
+    std::printf("\n[pisa] Table-1 fit matrix (stages=%zu, passes<=%zu):\n",
+                compiler.model().stages, compiler.model().max_passes);
+    for (const auto& comp : pisa::table1_compositions()) {
+      PisaRow row{comp.name, compiler.compile(comp.fns, comp.locations_bytes)};
+      std::printf("  %-8s %-8s passes=%zu stages=%zu cycles=%llu\n", row.name.c_str(),
+                  std::string(pisa::to_string(row.report.verdict)).c_str(),
+                  row.report.passes.size(), row.report.stages_used,
+                  static_cast<unsigned long long>(row.report.cycles));
+      pisa_rows.push_back(std::move(row));
+    }
+  }
+
+  // --- 7. Full exposition page via a StatsRegistry: pool + node + --------
+  // --- network + control plane + FIB + PISA fit. --------------------------
   telemetry::StatsRegistry page;
   pool.register_stats(page);
   node.register_stats(page);
@@ -380,6 +406,22 @@ int main(int argc, char** argv) {
       w.gauge("dip_fib_lookup_depth", p50, row.depth_p50);
       const telemetry::Label p99[]{engine, {"quantile", "0.99"}};
       w.gauge("dip_fib_lookup_depth", p99, row.depth_p99);
+    }
+  });
+  page.add("pisa", [&pisa_rows](telemetry::StatsWriter& w) {
+    for (const auto& row : pisa_rows) {
+      const telemetry::Label comp{"composition", row.name};
+      const telemetry::Label verdict[]{
+          comp, {"verdict", std::string(pisa::to_string(row.report.verdict))}};
+      w.gauge("dip_pisa_verdict", verdict, 1.0);
+      const telemetry::Label plain[]{comp};
+      w.gauge("dip_pisa_passes", plain, static_cast<double>(row.report.passes.size()));
+      w.gauge("dip_pisa_stages_used", plain, static_cast<double>(row.report.stages_used));
+      w.gauge("dip_pisa_parser_states", plain,
+              static_cast<double>(row.report.parser_states));
+      w.gauge("dip_pisa_phv_containers", plain,
+              static_cast<double>(row.report.phv_containers));
+      w.gauge("dip_pisa_cycles", plain, static_cast<double>(row.report.cycles));
     }
   });
   const std::string exposition = page.render();

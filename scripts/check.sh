@@ -2,11 +2,12 @@
 # Full verification pipeline: release build + tests + benches, then an
 # ASan/UBSan build + tests. This is what CI should run.
 #
-#   --fast   docs check + release build + the unit/property/ctrl/fib/mesh
-#            test tiers only (see docs/TESTING.md): the inner-loop lane, no
-#            benches, no sanitizer rebuilds. `ctest -L fib` alone slices
-#            just the FIB-engine lane (docs/FIB.md); `ctest -L mesh` the
-#            UDP mesh lane (docs/MESH.md).
+#   --fast   docs check + release build + the unit/property/ctrl/fib/mesh/
+#            pisa test tiers only (see docs/TESTING.md): the inner-loop
+#            lane, no benches, no sanitizer rebuilds. `ctest -L fib` alone
+#            slices just the FIB-engine lane (docs/FIB.md); `ctest -L mesh`
+#            the UDP mesh lane (docs/MESH.md); `ctest -L pisa` the
+#            stage-budget compiler + switch-model lane (docs/PISA.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,8 +54,8 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release \
 cmake --build build
 
 if [ "$FAST" -eq 1 ]; then
-  echo "== tests (--fast: unit + property + ctrl + fib + mesh tiers) =="
-  ctest --test-dir build -L "unit|property|ctrl|fib|mesh" --output-on-failure
+  echo "== tests (--fast: unit + property + ctrl + fib + mesh + pisa tiers) =="
+  ctest --test-dir build -L "unit|property|ctrl|fib|mesh|pisa" --output-on-failure
   echo "FAST CHECKS PASSED"
   exit 0
 fi
@@ -81,7 +82,10 @@ cmake --build build-san
 echo "== tests under sanitizers =="
 # -LE keeps the full unit/property tiers; the burst-arena and multi-block
 # crypto coverage (allocation_test, crypto_test batch oracles, pipeline
-# burst suites) runs here under ASan/UBSan in addition to the TSan pass.
+# burst suites) runs here under ASan/UBSan in addition to the TSan pass,
+# and so does the pisa lane (pisa_test's stage-budget property suite +
+# ndn_switch_test) — the placement compiler's shrinker and report
+# formatting are exactly the kind of index arithmetic ASan pays for.
 ctest --test-dir build-san -LE bench-smoke --output-on-failure
 
 echo "== bench smoke under sanitizers (arena + multi-block crypto) =="

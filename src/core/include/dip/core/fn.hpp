@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "dip/bytes/bitfield.hpp"
@@ -113,6 +114,12 @@ struct FnInfo {
 
 /// Static registry of the FNs this prototype defines.
 [[nodiscard]] std::optional<FnInfo> fn_info(OpKey key) noexcept;
+
+/// The whole dense module table, in definition order — the introspection
+/// seam for analysis layers (the PISA stage-budget compiler) that must bind
+/// against exactly the table the router binds against, so the software and
+/// hardware views of "what FNs exist" can never drift.
+[[nodiscard]] std::span<const FnInfo> fn_table() noexcept;
 
 /// Dense burst_commutes lookup — the wave-dispatch classification hot path
 /// (one table load instead of a linear fn_info scan). False for any key

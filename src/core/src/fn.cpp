@@ -48,6 +48,8 @@ std::string_view op_key_name(OpKey key) noexcept {
   return "F_?";
 }
 
+std::span<const FnInfo> fn_table() noexcept { return kFnTable; }
+
 std::optional<FnInfo> fn_info(OpKey key) noexcept {
   for (const FnInfo& info : kFnTable) {
     if (info.key == key) return info;

@@ -1,0 +1,29 @@
+// The six Table-1 protocols as FN compositions, for the fit matrix.
+//
+// Each entry is built by the *real* composer of that protocol
+// (core::make_dip32_header, ndn::make_interest_header32, opt::make_opt_header,
+// ...), then reduced to what the stage-budget compiler consumes: the FN
+// triples and the locations-block size. Deriving the catalogue from the
+// composers (rather than restating the triples) keeps the fit matrix honest:
+// if a composer changes its layout, the verdicts and goldens move with it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dip/core/fn.hpp"
+
+namespace dip::pisa {
+
+struct Table1Composition {
+  std::string name;                  ///< "dip32", "dip128", "ndn", "opt", ...
+  std::vector<core::FnTriple> fns;
+  std::size_t locations_bytes = 0;
+};
+
+/// The six §3 compositions, in Table-1 order: dip32, dip128, ndn, opt,
+/// ndn_opt, xia. Deterministic (fixed addresses/session/DAG inputs).
+[[nodiscard]] const std::vector<Table1Composition>& table1_compositions();
+
+}  // namespace dip::pisa

@@ -1,0 +1,49 @@
+// TNA-like resource model for the stage-budget compiler.
+//
+// The paper's Tofino prototype (§4.1) fits DIP only through hand
+// compromises; this struct states the resources those compromises ration,
+// in the style of the synapse-klee TNAProperty model (SNIPPETS.md): a fixed
+// number of match-action stages, per-stage SRAM/TCAM bit budgets, a bounded
+// PHV container pool, per-stage action/ALU and crypto slots, and the
+// parser's 4-byte-per-condition limit ("the Tofino compiler complains if we
+// access more than 4 bytes of the packet on the same if statement").
+//
+// Numbers are deliberately round, Tofino-*like*, not Tofino-exact: only the
+// relative pressure matters for the fit/degrade/unfit verdicts, and the
+// defaults are tuned so the six Table-1 compositions land where the paper
+// says they do (all deployable in a single pass with the 2EM MAC).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dip::pisa {
+
+struct TnaModel {
+  // --- pipeline geometry ------------------------------------------------
+  std::size_t stages = 12;                ///< match-action stages per pass
+  std::size_t max_passes = 4;             ///< recirculation budget (incl. 1st)
+
+  // --- per-stage budgets ------------------------------------------------
+  std::uint64_t sram_bits_per_stage = 128ull * 1024 * 8;  ///< 128 KiB
+  std::uint64_t tcam_bits_per_stage = 44ull * 512 * 24;   ///< 66 KiB-ish
+  std::size_t logical_tables_per_stage = 8;
+  std::size_t action_slots_per_stage = 8;  ///< VLIW ALU lanes
+  std::size_t crypto_slots_per_stage = 4;  ///< permutation rounds per stage
+
+  // --- header / parser budgets -----------------------------------------
+  std::size_t phv_containers = 64;         ///< 32-bit containers (Phv::kContainers)
+  std::size_t max_parser_states = 32;      ///< Parser::kMaxStatesVisited
+  std::size_t max_parser_condition_bytes = 4;  ///< bytes per if-condition
+  std::size_t max_unrolled_fns = 8;        ///< FN ladder depth per pass
+  std::size_t max_locations_bytes = 128;   ///< loc-block ceiling (constraints)
+
+  // --- table sizing (entries provisioned per logical table) -------------
+  std::uint32_t sram_entries_per_table = 1024;
+  std::uint32_t tcam_entries_per_table = 512;
+};
+
+/// The Tofino-like default used everywhere (goldens pin this model).
+[[nodiscard]] constexpr TnaModel default_tna_model() noexcept { return {}; }
+
+}  // namespace dip::pisa

@@ -89,6 +89,20 @@ FnSwitchProfile fn_switch_profile(const FnTriple& fn, bool aes_mac) noexcept {
     case OpKey::kTelemetry:
       p.alu_ops = 3;  // append metadata
       break;
+    case OpKey::kCc:
+      p.exact_lookups = 1;  // per-flow policy table
+      p.crypto_rounds = 2;  // verify + re-stamp the MAC-protected CC tag
+      p.alu_ops = 1;
+      break;
+    case OpKey::kDps:
+      p.exact_lookups = 1;  // CSFQ bucket
+      p.alu_ops = 3;        // stateful rate-estimator read-modify-write
+      break;
+    case OpKey::kHvf:
+      p.exact_lookups = 1;  // per-hop session key
+      p.crypto_rounds = 2;  // EPIC verify-and-update pair
+      p.alu_ops = 2;
+      break;
   }
   return p;
 }

@@ -1,0 +1,79 @@
+#include "dip/pisa/table1.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "dip/core/ip.hpp"
+#include "dip/ndn/ndn.hpp"
+#include "dip/opt/opt.hpp"
+#include "dip/opt/session.hpp"
+#include "dip/xia/dag.hpp"
+#include "dip/xia/xia.hpp"
+
+namespace dip::pisa {
+
+namespace {
+
+[[nodiscard]] crypto::Block block_of(std::uint8_t seed) {
+  crypto::Block b{};
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + 7 * i);
+  }
+  return b;
+}
+
+[[nodiscard]] Table1Composition from_header(std::string name,
+                                            const bytes::Result<core::DipHeader>& header) {
+  Table1Composition c;
+  c.name = std::move(name);
+  if (header.has_value()) {
+    c.fns = header->fns;
+    c.locations_bytes = header->locations.size();
+  }
+  return c;
+}
+
+[[nodiscard]] std::vector<Table1Composition> build() {
+  std::vector<Table1Composition> out;
+
+  const auto dst4 = *fib::parse_ipv4("10.64.1.1");
+  const auto src4 = *fib::parse_ipv4("192.0.2.1");
+  out.push_back(from_header("dip32", core::make_dip32_header(dst4, src4)));
+
+  const auto dst6 = *fib::parse_ipv6("2001:db8::1");
+  const auto src6 = *fib::parse_ipv6("2001:db8:ffff::2");
+  out.push_back(from_header("dip128", core::make_dip128_header(dst6, src6)));
+
+  out.push_back(from_header("ndn", ndn::make_interest_header32(0x0A010001u)));
+
+  const std::array<crypto::Block, 3> router_secrets = {block_of(0x11), block_of(0x22),
+                                                       block_of(0x33)};
+  const opt::Session session =
+      opt::negotiate_session(block_of(0x01), router_secrets, block_of(0x44));
+  const std::array<std::uint8_t, 32> payload = [] {
+    std::array<std::uint8_t, 32> p{};
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = static_cast<std::uint8_t>(i);
+    return p;
+  }();
+  constexpr std::uint32_t kTimestamp = 0x5eed0001u;
+  out.push_back(from_header("opt", opt::make_opt_header(session, payload, kTimestamp)));
+
+  out.push_back(from_header(
+      "ndn_opt", opt::make_ndn_opt_header(0x0A010001u, /*interest=*/true, session,
+                                          payload, kTimestamp)));
+
+  const xia::Dag dag =
+      xia::make_service_dag(xia::xid_from_label("t1-ad"), xia::xid_from_label("t1-hid"),
+                            fib::XidType::kSid, xia::xid_from_label("t1-sid"));
+  out.push_back(from_header("xia", xia::make_xia_header(dag)));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Table1Composition>& table1_compositions() {
+  static const std::vector<Table1Composition> kCompositions = build();
+  return kCompositions;
+}
+
+}  // namespace dip::pisa

@@ -145,6 +145,60 @@ TEST(NdnSwitch, ManyFlowsInterleavedStaySeparate) {
   }
 }
 
+// A structurally valid 1-FN packet carrying `fn` over a 4-byte locations
+// block holding `loc_word` — parses through the switch's 1-FN program.
+std::vector<std::uint8_t> one_fn_packet(core::FnTriple fn, std::uint32_t loc_word) {
+  core::DipHeader h;
+  h.fns = {fn};
+  h.locations = {static_cast<std::uint8_t>(loc_word >> 24),
+                 static_cast<std::uint8_t>(loc_word >> 16),
+                 static_cast<std::uint8_t>(loc_word >> 8),
+                 static_cast<std::uint8_t>(loc_word)};
+  return h.serialize();
+}
+
+TEST_F(NdnSwitchFixture, NonNdnKeyIsMalformedStatusNotParseError) {
+  // The packet parses fine — it is just not an NDN packet. The pre-written
+  // switch program has no module bound for the key, so the outcome is a
+  // kMalformed *status*, distinct from a parser error.
+  const auto wire =
+      one_fn_packet(core::FnTriple::router(0, 32, core::OpKey::kMatch32), 0x0A010203);
+  const auto out = sw.process(wire, 3);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, Status::kMalformed);
+  EXPECT_FALSE(out->egress.has_value());
+}
+
+TEST_F(NdnSwitchFixture, HostTagMaskedByThePrewrittenProgram) {
+  // The hardware program keys its branch on (op & 0x7fff): a host-tagged
+  // F_FIB still runs the interest path — the switch cannot skip host FNs
+  // the way Algorithm 1 line 5 does. Documented compromise, pinned here.
+  const std::uint32_t code = ndn::encode_name32(fib::Name::parse("/org/file"));
+  const auto wire = one_fn_packet(core::FnTriple::host(0, 32, core::OpKey::kFib), code);
+  const auto out = sw.process(wire, 6);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, Status::kForwardInterest);
+  EXPECT_EQ(out->egress.value(), 9u);
+}
+
+TEST(NdnSwitch, DataAliasConsumesCollidingPendingInterest) {
+  // The single-cell PIT aliases on the data path too: data for a name that
+  // was never requested consumes a colliding pending interest and forwards
+  // to that interest's face — then the real data misses.
+  NdnSwitchForwarder sw(1);
+  sw.add_name_route({fib::ipv4_from_u32(0), 0}, 5);
+
+  const auto interest_a = ndn::make_interest_header32(0x11111111)->serialize();
+  const auto data_a = ndn::make_data_header32(0x11111111)->serialize();
+  const auto data_b = ndn::make_data_header32(0x22222222)->serialize();
+
+  EXPECT_EQ(sw.process(interest_a, 1)->status, Status::kForwardInterest);
+  const auto alias = sw.process(data_b, 9);
+  EXPECT_EQ(alias->status, Status::kForwardData);
+  EXPECT_EQ(alias->egress.value(), 1u) << "alias stole the pending cell";
+  EXPECT_EQ(sw.process(data_a, 9)->status, Status::kDropPitMiss);
+}
+
 TEST(NdnSwitch, HashCollisionAliasesTheCompromiseDocumented) {
   // Two names in the same cell: the second interest is suppressed even
   // though the names differ — the documented hardware approximation.

@@ -1,13 +1,23 @@
 // PISA model: parser state machine on real DIP bytes, match-action tables,
-// pipeline cost accounting, Tofino constraint validation, and the
-// Figure-2-shaped analytical cost ordering.
+// pipeline cost accounting, Tofino constraint validation, the
+// Figure-2-shaped analytical cost ordering, and the stage-budget compiler
+// (golden cost reports for the Table-1 fit matrix + a property suite over
+// generated compositions; see docs/PISA.md).
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "dip/core/ip.hpp"
 #include "dip/ndn/ndn.hpp"
 #include "dip/opt/opt.hpp"
+#include "dip/pisa/compiler.hpp"
 #include "dip/pisa/dip_program.hpp"
 #include "dip/pisa/pipeline.hpp"
+#include "dip/pisa/table1.hpp"
+#include "proptest/proptest.hpp"
 
 namespace dip::pisa {
 namespace {
@@ -373,6 +383,449 @@ TEST(SwitchForwarder, RuntimeRouteInstallationWorks) {
   sw.add_route({fib::parse_ipv4("10.9.0.0").value(), 16}, 5);
   EXPECT_EQ(sw.forward(wire)->egress.value(), 5u);
   EXPECT_EQ(sw.route_count(), 1u);
+}
+
+// ---------- parser: malformed-program and malformed-packet outcomes ----------
+
+TEST(Parser, EmptyParserIsAStateError) {
+  const Parser parser;
+  const auto outcome = parser.parse(std::vector<std::uint8_t>(8, 0));
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error(), bytes::Error::kState);
+}
+
+TEST(Parser, ZeroOrOversizedExtractWidthIsTruncated) {
+  // Width 0 and width > 4 both violate the container extract contract, even
+  // when the packet has plenty of bytes.
+  for (const std::uint8_t width : {std::uint8_t{0}, std::uint8_t{5}}) {
+    Parser parser;
+    ParserState s;
+    s.extracts = {{0, width, phv_layout::kNextHeader}};
+    parser.add_state(std::move(s));
+    const auto outcome = parser.parse(std::vector<std::uint8_t>(16, 0xAB));
+    ASSERT_FALSE(outcome.has_value()) << unsigned{width};
+    EXPECT_EQ(outcome.error(), bytes::Error::kTruncated) << unsigned{width};
+  }
+}
+
+TEST(Parser, AdvancePastPacketEndIsTruncated) {
+  Parser parser;
+  ParserState s;
+  s.advance = 9;
+  parser.add_state(std::move(s));
+  const auto outcome = parser.parse(std::vector<std::uint8_t>(8, 0));
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error(), bytes::Error::kTruncated);
+}
+
+TEST(Parser, TransitionToOutOfRangeStateIsMalformed) {
+  // A select whose transition names a state the program never defined: the
+  // machine must fail closed, not walk off the state table.
+  Parser parser;
+  ParserState s;
+  s.extracts = {{0, 1, phv_layout::kFnNum}};
+  s.advance = 1;
+  s.has_select = true;
+  s.select = phv_layout::kFnNum;
+  s.transitions = {{0x42u, 7}};  // state 7 does not exist
+  s.default_next = ParserState::kAccept;
+  parser.add_state(std::move(s));
+
+  const auto bad = parser.parse(std::vector<std::uint8_t>{0x42, 0, 0, 0});
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), bytes::Error::kMalformed);
+
+  // The same program accepts when the select misses the bad transition.
+  const auto good = parser.parse(std::vector<std::uint8_t>{0x01, 0, 0, 0});
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->consumed, 1u);
+}
+
+TEST(Parser, DipParserSkipsLadderWhenFnNumIsZero) {
+  // FN_Num = 0 takes the ladder-skip transition straight to the locations
+  // block (Algorithm 1 line 3: nothing to execute).
+  core::DipHeader h;
+  h.basic.hop_limit = 64;
+  h.locations.assign(8, 0x5A);
+  const auto wire = h.serialize();
+
+  const Parser parser = build_dip_parser(/*fn_count=*/2, /*locations_bytes=*/8);
+  const auto outcome = parser.parse(wire);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->phv.get(phv_layout::kFnNum), 0u);
+  EXPECT_EQ(outcome->phv.get(phv_layout::kLocBase), 0x5A5A5A5Au);
+  EXPECT_EQ(outcome->consumed, wire.size());
+}
+
+// ---------- constraints: the untested validate_program outcomes ----------
+
+TEST(Constraints, LocationsBeyondPhvBudgetIsOverflow) {
+  const std::vector<FnTriple> fns = {FnTriple::router(0, 32, OpKey::kMatch32)};
+  const auto status = validate_program(fns, /*locations_bytes=*/129);
+  ASSERT_FALSE(status.has_value());
+  EXPECT_EQ(status.error(), bytes::Error::kOverflow);
+  EXPECT_TRUE(validate_program(fns, 128).has_value());
+}
+
+TEST(Constraints, FieldOutsideLocationsBlockIsOutOfRange) {
+  // Byte-aligned (passes the slice rule) but addressing bits the locations
+  // block does not have.
+  const std::vector<FnTriple> fns = {FnTriple::router(32, 32, OpKey::kMatch32)};
+  const auto status = validate_program(fns, /*locations_bytes=*/4);
+  ASSERT_FALSE(status.has_value());
+  EXPECT_EQ(status.error(), bytes::Error::kOutOfRange);
+  EXPECT_TRUE(validate_program(fns, 8).has_value());
+}
+
+// ---------- tables: replace semantics, default routes, stage overflow ----------
+
+TEST(MatchTable, LpmZeroQualifierIsADefaultRouteEntry) {
+  // qualifier 0 => mask 0 => matches every key, beaten by any longer prefix.
+  MatchTable table(MatchKind::kLpm, phv_layout::kLocBase);
+  table.add_entry({0, 0, 0, {ActionKind::kSetContainer, phv_layout::kEgressPort, 0, 99}});
+  table.add_entry({0x0A000000u, 8, 0,
+                   {ActionKind::kSetContainer, phv_layout::kEgressPort, 0, 7}});
+
+  Phv phv;
+  phv.set(phv_layout::kLocBase, 0xC0A80101u);  // only the default matches
+  Cycles cost = apply_action(table.lookup(phv), phv, default_cost_model());
+  EXPECT_EQ(phv.get(phv_layout::kEgressPort), 99u);
+  EXPECT_GT(cost, 0u);
+
+  phv.set(phv_layout::kLocBase, 0x0A010203u);  // /8 beats the default
+  cost = apply_action(table.lookup(phv), phv, default_cost_model());
+  EXPECT_EQ(phv.get(phv_layout::kEgressPort), 7u);
+}
+
+TEST(MatchTable, ReAddedPrefixReplacesOlderEntry) {
+  // Same prefix added twice: the later entry must win (control-plane
+  // replace semantics, the documented ">=" in MatchTable::lookup).
+  MatchTable table(MatchKind::kLpm, phv_layout::kLocBase);
+  table.add_entry({0x0A000000u, 8, 0,
+                   {ActionKind::kSetContainer, phv_layout::kEgressPort, 0, 1}});
+  table.add_entry({0x0A000000u, 8, 0,
+                   {ActionKind::kSetContainer, phv_layout::kEgressPort, 0, 2}});
+
+  Phv phv;
+  phv.set(phv_layout::kLocBase, 0x0A0B0C0Du);
+  (void)apply_action(table.lookup(phv), phv, default_cost_model());
+  EXPECT_EQ(phv.get(phv_layout::kEgressPort), 2u);
+
+  // Ternary tables document the same override for equal priorities.
+  MatchTable ternary(MatchKind::kTernary, phv_layout::kLocBase);
+  ternary.add_entry({0x0A000000u, 0xFF000000u, 5,
+                     {ActionKind::kSetContainer, phv_layout::kEgressPort, 0, 3}});
+  ternary.add_entry({0x0A000000u, 0xFF000000u, 5,
+                     {ActionKind::kSetContainer, phv_layout::kEgressPort, 0, 4}});
+  (void)apply_action(ternary.lookup(phv), phv, default_cost_model());
+  EXPECT_EQ(phv.get(phv_layout::kEgressPort), 4u);
+}
+
+TEST(Pipeline, StageOverflowRefusedAndMutableStageBounded) {
+  Pipeline pipe;
+  for (std::size_t i = 0; i < Pipeline::kMaxStages; ++i) {
+    EXPECT_TRUE(pipe.add_stage({})) << i;
+  }
+  EXPECT_FALSE(pipe.add_stage({})) << "stage past the hardware budget accepted";
+  EXPECT_EQ(pipe.stage_count(), Pipeline::kMaxStages);
+  EXPECT_NE(pipe.mutable_stage(Pipeline::kMaxStages - 1), nullptr);
+  EXPECT_EQ(pipe.mutable_stage(Pipeline::kMaxStages), nullptr);
+}
+
+TEST(Pipeline, DropShortCircuitsResubmissions) {
+  // A packet dropped on the first pass must not be re-injected: the
+  // resubmission loop stops and reports zero resubmissions.
+  Pipeline pipe;
+  Stage stage;
+  MatchTable table(MatchKind::kExact, phv_layout::kFnNum);
+  table.set_default_action({ActionKind::kDrop});
+  stage.tables.push_back(table);
+  ASSERT_TRUE(pipe.add_stage(std::move(stage)));
+
+  Phv phv;
+  const auto run = pipe.run_with_resubmits(phv, 2);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->dropped);
+  EXPECT_EQ(run->resubmissions, 0u);
+
+  // And the runaway guard still rejects over-budget resubmit requests.
+  Phv phv2;
+  const auto over = pipe.run_with_resubmits(phv2, Pipeline::kMaxResubmits + 1);
+  ASSERT_FALSE(over.has_value());
+  EXPECT_EQ(over.error(), bytes::Error::kOverflow);
+}
+
+// ---------- stage-budget compiler: Table-1 goldens ----------
+
+std::filesystem::path pisa_vector_path(const std::string& name) {
+  return std::filesystem::path(DIP_VECTORS_DIR) / ("pisa_" + name + ".txt");
+}
+
+TEST(StageBudget, GoldenCostReportsForTable1) {
+  // The paper's claim in executable form: every §3 composition deploys on
+  // the Tofino-like model in a single pass with the 2EM MAC. Each report is
+  // pinned byte-identical as a golden vector.
+  const bool regen = std::getenv("DIP_REGEN_VECTORS") != nullptr;
+  const StageCompiler compiler;
+  const auto& compositions = table1_compositions();
+  ASSERT_EQ(compositions.size(), 6u);
+
+  for (const auto& comp : compositions) {
+    ASSERT_FALSE(comp.fns.empty()) << comp.name << ": composer failed";
+    const PlacementReport report = compiler.compile(comp.fns, comp.locations_bytes);
+    EXPECT_EQ(report.verdict, FitVerdict::kFit) << comp.name << ": " << report.reason;
+    EXPECT_EQ(report.passes.size(), 1u) << comp.name;
+    EXPECT_LE(report.stages_used, compiler.model().stages) << comp.name;
+
+    const std::string text = format_report(comp.name, comp.fns, comp.locations_bytes,
+                                           report, compiler.model());
+    const auto path = pisa_vector_path(comp.name);
+    if (regen) {
+      std::filesystem::create_directories(path.parent_path());
+      std::ofstream out(path, std::ios::trunc);
+      out << text;
+      continue;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden cost report " << path;
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden.str(), text)
+        << path << " drifted from the compiler output; regenerate deliberately "
+        << "with DIP_REGEN_VECTORS=1 ./pisa_test";
+  }
+}
+
+TEST(StageBudget, EveryModuleTableRowPlaces) {
+  // Drift guard on the introspection seam: every FN the router can bind
+  // (core::fn_table()) must have a placement story — a single instance over
+  // a modest field always fits, router- or host-tagged.
+  const StageCompiler compiler;
+  for (const core::FnInfo& row : core::fn_table()) {
+    const std::vector<FnTriple> router_fn = {FnTriple::router(0, 32, row.key)};
+    const auto r = compiler.compile(router_fn, 64);
+    EXPECT_EQ(r.verdict, FitVerdict::kFit) << row.notation << ": " << r.reason;
+
+    const std::vector<FnTriple> host_fn = {FnTriple::host(0, 32, row.key)};
+    const auto h = compiler.compile(host_fn, 64);
+    EXPECT_EQ(h.verdict, FitVerdict::kFit) << row.notation << "*: " << h.reason;
+    EXPECT_EQ(h.stages_used, 0u) << row.notation << "*: host FNs use no stages";
+  }
+}
+
+TEST(StageBudget, AesMacDegradesWhere2EmFits) {
+  // §4.1's MAC choice as verdicts: the same OPT composition fits with 2EM
+  // but degrades with AES (resubmission + recirculation), at strictly
+  // higher cycle cost.
+  const StageCompiler compiler;
+  const auto& opt = table1_compositions()[3];
+  ASSERT_EQ(opt.name, "opt");
+
+  const auto em2 = compiler.compile(opt.fns, opt.locations_bytes);
+  ASSERT_EQ(em2.verdict, FitVerdict::kFit);
+
+  CompileOptions aes;
+  aes.aes_mac = true;
+  const auto degraded = compiler.compile(opt.fns, opt.locations_bytes, aes);
+  ASSERT_EQ(degraded.verdict, FitVerdict::kDegrade) << degraded.reason;
+  EXPECT_EQ(degraded.resubmissions, 1u);
+  EXPECT_GT(degraded.passes.size(), 1u);
+  EXPECT_GT(degraded.cycles, em2.cycles);
+
+  // Recirculation splits must themselves deploy: each pass, compiled alone
+  // under the same options, stays on the hardware.
+  for (const PassPlan& pass : degraded.passes) {
+    const auto sub = compiler.compile(pass.fns, opt.locations_bytes, aes);
+    EXPECT_TRUE(sub.fits()) << sub.reason;
+    EXPECT_EQ(sub.passes.size(), 1u);
+  }
+}
+
+TEST(StageBudget, UnfitReasonsAreStructural) {
+  const StageCompiler compiler;
+
+  // Sub-byte slice: the preset-slice compromise.
+  const std::vector<FnTriple> subbyte = {FnTriple::router(0, 3, OpKey::kMark)};
+  auto r = compiler.compile(subbyte, 4);
+  EXPECT_EQ(r.verdict, FitVerdict::kUnfit);
+  EXPECT_NE(r.reason.find("byte-aligned"), std::string::npos) << r.reason;
+
+  // Field outside the locations block.
+  const std::vector<FnTriple> outside = {FnTriple::router(32, 32, OpKey::kMatch32)};
+  r = compiler.compile(outside, 4);
+  EXPECT_EQ(r.verdict, FitVerdict::kUnfit);
+  EXPECT_NE(r.reason.find("outside"), std::string::npos) << r.reason;
+
+  // Locations block past the preset budget.
+  const std::vector<FnTriple> plain = {FnTriple::router(0, 32, OpKey::kMatch32)};
+  r = compiler.compile(plain, compiler.model().max_locations_bytes + 1);
+  EXPECT_EQ(r.verdict, FitVerdict::kUnfit);
+
+  // Unknown operation key (not in the module table).
+  const std::vector<FnTriple> unknown = {{0, 32, 500}};
+  r = compiler.compile(unknown, 4);
+  EXPECT_EQ(r.verdict, FitVerdict::kUnfit);
+  EXPECT_NE(r.reason.find("unknown"), std::string::npos) << r.reason;
+
+  // Parser state budget: a locations block needing more states than the
+  // parser has, regardless of recirculation.
+  r = compiler.compile(plain, 124);
+  EXPECT_EQ(r.verdict, FitVerdict::kUnfit);
+  EXPECT_NE(r.reason.find("parser"), std::string::npos) << r.reason;
+
+  // Recirculation budget: each F_dps costs 2 stages (gateway + bucket RMW),
+  // so a 12-stage pass holds 6 — 28 of them need 5 passes, one past the
+  // budget, while staying inside the PHV pool (no crypto scratch).
+  std::vector<FnTriple> dps;
+  for (int i = 0; i < 28; ++i) dps.push_back(FnTriple::router(0, 32, OpKey::kDps));
+  r = compiler.compile(dps, 4);
+  EXPECT_EQ(r.verdict, FitVerdict::kUnfit);
+  EXPECT_NE(r.reason.find("recirculation"), std::string::npos) << r.reason;
+
+  // PHV pool: crypto-heavy compositions exhaust the container budget before
+  // placement is even attempted (two scratch containers per crypto FN).
+  std::vector<FnTriple> macs;
+  for (int i = 0; i < 16; ++i) macs.push_back(FnTriple::router(0, 416, OpKey::kMac));
+  r = compiler.compile(macs, 52);
+  EXPECT_EQ(r.verdict, FitVerdict::kUnfit);
+  EXPECT_NE(r.reason.find("PHV"), std::string::npos) << r.reason;
+}
+
+TEST(StageBudget, EmptyCompositionFitsTrivially) {
+  const StageCompiler compiler;
+  const auto r = compiler.compile({}, 0);
+  EXPECT_EQ(r.verdict, FitVerdict::kFit);
+  EXPECT_EQ(r.stages_used, 0u);
+  EXPECT_EQ(r.passes.size(), 1u);
+}
+
+// ---------- stage-budget compiler: property suite ----------
+
+struct GenComposition {
+  std::vector<FnTriple> fns;
+  std::size_t locations_bytes = 0;
+};
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Seeded random composition: mostly structurally valid (byte-aligned,
+/// in-range fields over every module-table key), with occasional sub-byte
+/// slices so structural unfits flow through the properties too.
+GenComposition gen_composition(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  const auto below = [&s](std::uint64_t n) { return splitmix(s) % n; };
+
+  GenComposition g;
+  g.locations_bytes = 4 * (1 + below(30));  // 4..120, container-aligned
+  const auto table = core::fn_table();
+  const std::size_t n = 1 + below(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::FnInfo& row = table[below(table.size())];
+    const std::size_t loc_byte = below(g.locations_bytes);
+    const std::size_t max_bytes = std::min<std::size_t>(g.locations_bytes - loc_byte, 52);
+    std::uint16_t len = static_cast<std::uint16_t>(8 * (1 + below(max_bytes)));
+    if (below(8) == 0) len = static_cast<std::uint16_t>(len - 3);  // sub-byte slice
+    const auto loc = static_cast<std::uint16_t>(8 * loc_byte);
+    g.fns.push_back(below(6) == 0 ? FnTriple::host(loc, len, row.key)
+                                  : FnTriple::router(loc, len, row.key));
+  }
+  return g;
+}
+
+proptest::Packet composition_packet(std::span<const FnTriple> fns,
+                                    std::size_t locations_bytes) {
+  core::DipHeader h;
+  h.fns.assign(fns.begin(), fns.end());
+  h.locations.assign(locations_bytes, 0);
+  return h.serialize();
+}
+
+bool determinism_violated(std::span<const FnTriple> fns, std::size_t loc) {
+  const StageCompiler a, b;
+  return format_report("p", fns, loc, a.compile(fns, loc), a.model()) !=
+         format_report("p", fns, loc, b.compile(fns, loc), b.model());
+}
+
+bool monotonicity_violated(std::span<const FnTriple> fns, std::size_t loc) {
+  const StageCompiler compiler;
+  bool seen_unfit = false;
+  for (std::size_t k = 1; k <= fns.size(); ++k) {
+    const bool fits = compiler.compile(fns.subspan(0, k), loc).fits();
+    if (!fits) seen_unfit = true;
+    else if (seen_unfit) return true;  // adding an FN flipped unfit -> fit
+  }
+  return false;
+}
+
+bool split_revalidation_violated(std::span<const FnTriple> fns, std::size_t loc) {
+  const StageCompiler compiler;
+  const auto report = compiler.compile(fns, loc);
+  if (!report.fits() || report.passes.size() < 2) return false;
+  for (const PassPlan& pass : report.passes) {
+    const auto sub = compiler.compile(pass.fns, loc);
+    if (sub.verdict != FitVerdict::kFit || sub.passes.size() != 1) return true;
+  }
+  return false;
+}
+
+/// On failure, shrink the offending composition with the shared proptest
+/// shrinker (serialized as a DIP packet) and print a minimal reproducer.
+void fail_with_shrunk(const char* property, std::uint64_t seed,
+                      const GenComposition& g,
+                      bool (*violated)(std::span<const FnTriple>, std::size_t)) {
+  const auto fails = [violated](const proptest::Packet& packet) {
+    const auto h = core::DipHeader::parse(packet);
+    return h.has_value() && violated(h->fns, h->locations.size());
+  };
+  const proptest::Packet minimal =
+      proptest::shrink_packet(composition_packet(g.fns, g.locations_bytes), fails);
+  std::ostringstream what;
+  what << property << " violated (seed " << seed << "); minimal reproducer: "
+       << proptest::hex_encode(minimal);
+  if (const auto h = core::DipHeader::parse(minimal)) {
+    what << " = loc " << h->locations.size() << "B,";
+    for (const FnTriple& fn : h->fns) {
+      what << " " << core::op_key_name(fn.key()) << (fn.host_tagged() ? "*" : "")
+           << "@" << fn.field_loc << "+" << fn.field_len;
+    }
+  }
+  ADD_FAILURE() << what.str();
+}
+
+TEST(StageBudgetProperty, DeterministicMonotonicSplitValid) {
+  std::size_t fit = 0;
+  std::size_t multipass = 0;
+  std::size_t unfit = 0;
+  const StageCompiler compiler;
+
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const GenComposition g = gen_composition(seed);
+    if (determinism_violated(g.fns, g.locations_bytes)) {
+      fail_with_shrunk("determinism", seed, g, determinism_violated);
+    }
+    if (monotonicity_violated(g.fns, g.locations_bytes)) {
+      fail_with_shrunk("monotonicity", seed, g, monotonicity_violated);
+    }
+    if (split_revalidation_violated(g.fns, g.locations_bytes)) {
+      fail_with_shrunk("split-revalidation", seed, g, split_revalidation_violated);
+    }
+    const auto report = compiler.compile(g.fns, g.locations_bytes);
+    if (!report.fits()) ++unfit;
+    else if (report.passes.size() > 1) ++multipass;
+    else ++fit;
+  }
+
+  // The generator must exercise all three placement regimes, or the
+  // properties above are vacuous.
+  EXPECT_GT(fit, 0u);
+  EXPECT_GT(multipass, 0u);
+  EXPECT_GT(unfit, 0u);
 }
 
 }  // namespace
