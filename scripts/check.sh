@@ -3,11 +3,13 @@
 # ASan/UBSan build + tests. This is what CI should run.
 #
 #   --fast   docs check + release build + the unit/property/ctrl/fib/mesh/
-#            pisa test tiers only (see docs/TESTING.md): the inner-loop
+#            pisa/dtn test tiers only (see docs/TESTING.md): the inner-loop
 #            lane, no benches, no sanitizer rebuilds. `ctest -L fib` alone
 #            slices just the FIB-engine lane (docs/FIB.md); `ctest -L mesh`
 #            the UDP mesh lane (docs/MESH.md); `ctest -L pisa` the
-#            stage-budget compiler + switch-model lane (docs/PISA.md).
+#            stage-budget compiler + switch-model lane (docs/PISA.md);
+#            `ctest -L dtn` the custody/disruption-tolerance lane
+#            (docs/DTN.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,8 +56,8 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release \
 cmake --build build
 
 if [ "$FAST" -eq 1 ]; then
-  echo "== tests (--fast: unit + property + ctrl + fib + mesh + pisa tiers) =="
-  ctest --test-dir build -L "unit|property|ctrl|fib|mesh|pisa" --output-on-failure
+  echo "== tests (--fast: unit + property + ctrl + fib + mesh + pisa + dtn tiers) =="
+  ctest --test-dir build -L "unit|property|ctrl|fib|mesh|pisa|dtn" --output-on-failure
   echo "FAST CHECKS PASSED"
   exit 0
 fi
@@ -97,16 +99,17 @@ echo "== TSan build (RouterPool / SpscRing concurrency + chaos harness) =="
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDIP_SANITIZE=thread \
   >/dev/null
 cmake --build build-tsan --target pipeline_test stats_test chaos_test \
-  differential_test conformance_test ctrl_test fib_test mesh_test
+  differential_test conformance_test ctrl_test fib_test mesh_test dtn_test
 
-echo "== pipeline + stats + chaos + differential + conformance + ctrl + fib-churn + mesh tests under TSan =="
+echo "== pipeline + stats + chaos + differential + conformance + ctrl + fib-churn + mesh + dtn tests under TSan =="
 # fib_churn_test runs only the TreeBitmapChurn pool-under-journal-flush
 # suite (docs/FIB.md) — full fib_test under TSan would mostly re-run
 # single-threaded engine oracles at 10x cost. mesh_test includes the
 # real-UDP two-thread router exchange (docs/MESH.md) — the thread-
-# confinement contract's race probe.
+# confinement contract's race probe. dtn_test rides along for the custody
+# conformance sweep over the pool engine (docs/DTN.md).
 ctest --test-dir build-tsan \
-  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test|ctrl_test|fib_churn_test|mesh_test" \
+  -R "pipeline_test|stats_test|chaos_test|differential_test|conformance_test|ctrl_test|fib_churn_test|mesh_test|dtn_test" \
   --output-on-failure
 
 echo "== chaos clean-path overhead (BENCH_chaos.json refresh: run manually) =="

@@ -110,6 +110,18 @@ struct RouterEnv {
   /// are accepted without the (expensive) check.
   bool enforce_pass = false;
 
+  // ---- disruption tolerance (docs/DTN.md) --------------------------------
+  /// Overlay-wide key for F_custody chain-MAC verification and re-stamping
+  /// (same trust model as pass_key: every custody-capable node holds it).
+  crypto::Block custody_key{};
+  /// Whether this node takes custody. When false, F_custody FNs are carried
+  /// untouched — the node forwards the bundle but is not part of the DTN
+  /// overlay, mirroring the §2.4 heterogeneous-deployment rule.
+  bool accept_custody = false;
+  /// The node's bounded dtn::CustodyStore, type-erased so core does not
+  /// depend on dtn; dtn's node wrappers install and cast it.
+  std::shared_ptr<void> custody_store;
+
   // ---- deployment configuration (§2.4) ----------------------------------
   /// FN keys this node refuses even if a module is linked in (heterogeneous
   /// AS configuration). Empty = support everything registered.

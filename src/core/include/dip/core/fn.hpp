@@ -47,6 +47,11 @@ enum class OpKey : std::uint16_t {
                   ///<               guaranteed services (§5, CSFQ-style)
   kHvf = 16,      ///< F_hvf       — EPIC-style per-hop verify-and-update
                   ///<               (the §1 EPIC example)
+  kCustody = 17,  ///< F_custody   — DTN custody-transfer tag: request/accept
+                  ///<               bits + custodian chain with a MAC over it
+                  ///<               (store-and-forward, docs/DTN.md)
+  kBundleFrag = 18,///< F_frag     — bundle fragment index/total for
+                  ///<               store-and-forward reassembly (carried)
 };
 
 /// Table-1 notation for an operation key ("F_FIB"), or "F_?" if unknown.

@@ -37,6 +37,15 @@ constexpr FnInfo kFnTable[] = {
     {OpKey::kDps, "F_dps", false, 3, false, false},
     // Per-hop verification needs every on-path node, like the OPT chain.
     {OpKey::kHvf, "F_hvf", true, 6, false, true},
+    // Custody transfer mutates the tag in place (accept stamps the local
+    // node as custodian) and its verdict depends on per-node custody state,
+    // so neither FN-order nor cross-packet commutation is licensed. A
+    // non-DTN router may skip it (requires_full_path=false): custody is an
+    // overlay over whichever nodes opt in.
+    {OpKey::kCustody, "F_custody", false, 5, false, false},
+    // Fragment metadata is carried for the receiving host's reassembly; the
+    // router only bounds-checks it.
+    {OpKey::kBundleFrag, "F_frag", false, 1, true, true},
 };
 
 }  // namespace

@@ -1,0 +1,112 @@
+#include "dip/dtn/store.hpp"
+
+#include <algorithm>
+
+namespace dip::dtn {
+
+CustodyStore::Entry* CustodyStore::commit(std::uint64_t key,
+                                          std::span<const std::uint8_t> packet,
+                                          std::uint32_t egress, std::uint64_t now,
+                                          bool* duplicate) {
+  if (duplicate != nullptr) *duplicate = false;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    ++stats_.duplicate_commits;
+    if (duplicate != nullptr) *duplicate = true;
+    return &it->second;
+  }
+
+  make_room(packet.size());
+  if (entries_.size() >= limits_.max_bundles || bytes_ + packet.size() > limits_.max_bytes) {
+    ++stats_.refused_full;
+    return nullptr;
+  }
+
+  Entry entry;
+  entry.key = key;
+  entry.packet.assign(packet.begin(), packet.end());
+  entry.egress = egress;
+  entry.committed_at = now;
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  bytes_ += it->second.packet.size();
+  ++stats_.commits;
+  stats_.bytes_high_water = std::max(stats_.bytes_high_water, bytes_);
+  stats_.bundles_high_water = std::max(stats_.bundles_high_water, entries_.size());
+  return &it->second;
+}
+
+CustodyStore::Entry* CustodyStore::find(std::uint64_t key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool CustodyStore::release(std::uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.duplicate_acks;
+    return false;
+  }
+  bytes_ -= it->second.packet.size();
+  entries_.erase(it);
+  ++stats_.released;
+  return true;
+}
+
+bool CustodyStore::charge_retransmission(std::uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (it->second.attempts >= limits_.max_retries) return false;
+  ++it->second.attempts;
+  ++stats_.retransmissions;
+  return true;
+}
+
+bool CustodyStore::abandon(std::uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  bytes_ -= it->second.packet.size();
+  entries_.erase(it);
+  ++stats_.evicted;
+  return true;
+}
+
+void CustodyStore::make_room(std::size_t incoming) {
+  const auto over_caps = [&] {
+    return entries_.size() >= limits_.max_bundles ||
+           bytes_ + incoming > limits_.max_bytes;
+  };
+  while (over_caps()) {
+    // Oldest exhausted entry first: deterministic (commit time, then key).
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.attempts < limits_.max_retries) continue;
+      if (victim == entries_.end() ||
+          it->second.committed_at < victim->second.committed_at) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // only live custody left: refuse
+    bytes_ -= victim->second.packet.size();
+    entries_.erase(victim);
+    ++stats_.evicted;
+  }
+}
+
+void CustodyStore::write_stats(telemetry::StatsWriter& w, std::uint32_t node) const {
+  const std::string node_id = std::to_string(node);
+  const telemetry::Label labels[] = {{"node", node_id}};
+  w.gauge("dip_dtn_store_bundles", labels, static_cast<double>(entries_.size()));
+  w.gauge("dip_dtn_store_bytes", labels, static_cast<double>(bytes_));
+  w.gauge("dip_dtn_store_bundles_high_water", labels,
+          static_cast<double>(stats_.bundles_high_water));
+  w.gauge("dip_dtn_store_bytes_high_water", labels,
+          static_cast<double>(stats_.bytes_high_water));
+  w.counter("dip_dtn_commits_total", labels, stats_.commits);
+  w.counter("dip_dtn_duplicate_commits_total", labels, stats_.duplicate_commits);
+  w.counter("dip_dtn_refused_full_total", labels, stats_.refused_full);
+  w.counter("dip_dtn_released_total", labels, stats_.released);
+  w.counter("dip_dtn_evicted_total", labels, stats_.evicted);
+  w.counter("dip_dtn_retransmissions_total", labels, stats_.retransmissions);
+  w.counter("dip_dtn_duplicate_acks_total", labels, stats_.duplicate_acks);
+}
+
+}  // namespace dip::dtn

@@ -37,6 +37,10 @@ struct MeshConfig {
   core::ValidationMode validation = core::ValidationMode::kStrict;
   core::DispatchStrategy strategy = core::DispatchStrategy::kLoop;
   bootstrap::CapabilitySet capabilities;  ///< advertised by every router
+  /// Module registry shared by every router; nullptr = the default stack
+  /// (netsim::make_default_registry()). Overlays extend it — the DTN soak
+  /// adds the custody modules here (dtn/mesh_dtn.hpp).
+  std::shared_ptr<const core::OpRegistry> registry;
 };
 
 class MeshNet {

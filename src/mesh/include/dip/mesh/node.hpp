@@ -143,6 +143,20 @@ class MeshRouter {
   /// router with `ingress` (a local face) and applies the verdict.
   void inject(std::span<std::uint8_t> packet, FaceId ingress);
 
+  /// Observer of every forwarded data packet (after FN rewrites, before the
+  /// wire): (ingress, egress, packet bytes). The DTN overlay uses this to
+  /// commit custody copies of forwarded bundles (dtn/mesh_dtn.hpp).
+  using ForwardTap =
+      std::function<void(FaceId ingress, FaceId egress, std::span<const std::uint8_t>)>;
+  void set_forward_tap(ForwardTap tap) { forward_tap_ = std::move(tap); }
+
+  /// Transmit raw packet bytes out `face` through the ledgered egress path
+  /// (impair → frame → send). Local faces deliver locally. Overlay use:
+  /// custody retransmissions replay stored bytes without re-processing.
+  void transmit(FaceId face, std::span<const std::uint8_t> packet) {
+    send_data(face, packet);
+  }
+
   /// Data frames sent on hold-back timers that have not hit the socket yet
   /// (the quiesce condition before a ledger check).
   [[nodiscard]] std::size_t pending_holdbacks() const noexcept { return holdbacks_; }
@@ -206,6 +220,7 @@ class MeshRouter {
   std::uint16_t lsa_version_ = 0;
 
   WireLedger ledger_;
+  ForwardTap forward_tap_;
   std::uint64_t local_delivered_ = 0;
   std::size_t holdbacks_ = 0;
   std::array<std::uint64_t, 16> drop_counts_{};

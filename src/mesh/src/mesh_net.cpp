@@ -10,7 +10,7 @@ MeshNet::MeshNet(MeshConfig config)
     : config_(std::move(config)),
       fabric_(config_.use_mock ? std::make_unique<MockFabric>() : nullptr),
       loop_(config_.clock),
-      registry_(netsim::make_default_registry()) {
+      registry_(config_.registry ? config_.registry : netsim::make_default_registry()) {
   if (config_.capabilities.size() == 0) {
     config_.capabilities = bootstrap::full_capability_set();
   }

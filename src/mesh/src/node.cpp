@@ -311,6 +311,7 @@ void MeshRouter::apply_verdict(FaceId ingress, std::span<std::uint8_t> packet,
         return;
       }
       for (std::size_t i = 0; i < result.egress.size(); ++i) {
+        if (forward_tap_) forward_tap_(ingress, result.egress[i], packet);
         send_data(result.egress[i], packet);
       }
       return;

@@ -103,6 +103,14 @@ FnSwitchProfile fn_switch_profile(const FnTriple& fn, bool aes_mac) noexcept {
       p.crypto_rounds = 2;  // EPIC verify-and-update pair
       p.alu_ops = 2;
       break;
+    case OpKey::kCustody:
+      p.exact_lookups = 1;  // custody-store admission probe
+      p.crypto_rounds = 2;  // verify + re-stamp the chain MAC (2EM pair)
+      p.alu_ops = 2;        // flags/custodian rewrite
+      break;
+    case OpKey::kBundleFrag:
+      p.alu_ops = 1;  // bounds-check index < total; reassembly is host-side
+      break;
   }
   return p;
 }

@@ -111,6 +111,10 @@ struct RefConfig {
   std::uint64_t dps_seed = 1;
   std::uint64_t dps_capacity_bytes_per_sec = 1'000'000;
   SimDuration dps_window = 20 * kMillisecond;
+  // F_custody / F_frag (optional DTN modules; off in the default registry).
+  bool custody_enabled = false;
+  bool custody_accept = false;  ///< this node takes custody (env.accept_custody)
+  crypto::Block custody_key{};
   Mutation mutation = Mutation::kNone;
 };
 
@@ -217,6 +221,8 @@ class RefNode {
                     SimTime now);
   bool op_hvf(const RefFn& fn, RefHeader& h, RefVerdict& v);
   bool op_dps(const RefFn& fn, RefHeader& h, SimTime now, RefVerdict& v);
+  bool op_custody(const RefFn& fn, RefHeader& h, RefVerdict& v);
+  bool op_bundlefrag(const RefFn& fn, RefHeader& h);
 
   // Field slicing helpers (spec: FN fields are bit ranges into the
   // locations block; byte-aligned ranges slice in place).

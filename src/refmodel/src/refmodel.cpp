@@ -35,8 +35,10 @@ constexpr std::uint16_t kTelemetry = 13;
 constexpr std::uint16_t kCc = 14;
 constexpr std::uint16_t kDps = 15;
 constexpr std::uint16_t kHvf = 16;
+constexpr std::uint16_t kCustody = 17;
+constexpr std::uint16_t kBundleFrag = 18;
 
-[[nodiscard]] bool known_key(std::uint16_t key) { return key >= 1 && key <= 16; }
+[[nodiscard]] bool known_key(std::uint16_t key) { return key >= 1 && key <= 18; }
 
 /// §2.4 heterogeneous configuration: path-critical FNs error back to the
 /// source when a node cannot honor them; others are silently skipped.
@@ -46,7 +48,8 @@ constexpr std::uint16_t kHvf = 16;
 
 /// §2.2 modular parallelism: only FNs with no cross-FN coupling commute.
 [[nodiscard]] bool order_independent(std::uint16_t key) {
-  return key == kMatch32 || key == kMatch128 || key == kSource || key == kTelemetry;
+  return key == kMatch32 || key == kMatch128 || key == kSource ||
+         key == kTelemetry || key == kBundleFrag;
 }
 
 /// Abstract per-invocation cost units charged against the packet budget
@@ -67,6 +70,8 @@ constexpr std::uint16_t kHvf = 16;
     case kTelemetry: return 2;
     case kDps: return 3;
     case kHvf: return 5;
+    case kCustody: return 5;
+    case kBundleFrag: return 1;
     default: return 1;
   }
 }
@@ -502,7 +507,8 @@ bool RefNode::run_fn(const RefFn& fn, RefHeader& h, std::uint32_t ingress, SimTi
       key == kMatch32 || key == kMatch128 || key == kSource || key == kFib ||
       key == kPit || key == kParm || key == kMac || key == kMark || key == kDag ||
       key == kIntent || key == kPass || key == kTelemetry || key == kHvf ||
-      (key == kDps && cfg_.dps_enabled);
+      (key == kDps && cfg_.dps_enabled) ||
+      ((key == kCustody || key == kBundleFrag) && cfg_.custody_enabled);
   if (!modeled) {
     // §2.4: unsupported path-critical FN -> error back to the source;
     // anything else is skipped.
@@ -541,6 +547,8 @@ bool RefNode::run_fn(const RefFn& fn, RefHeader& h, std::uint32_t ingress, SimTi
     case kTelemetry: status_ok = op_telemetry(fn, h, ingress, now); break;
     case kDps: status_ok = op_dps(fn, h, now, v); break;
     case kHvf: status_ok = op_hvf(fn, h, v); break;
+    case kCustody: status_ok = op_custody(fn, h, v); break;
+    case kBundleFrag: status_ok = op_bundlefrag(fn, h); break;
     default: break;
   }
   if (!status_ok) {
@@ -884,6 +892,64 @@ bool RefNode::op_dps(const RefFn& fn, RefHeader& h, SimTime now, RefVerdict& v) 
   }
   dps_accepted_bytes_ += size;
   return true;
+}
+
+bool RefNode::op_custody(const RefFn& fn, RefHeader& h, RefVerdict& v) {
+  // DESIGN.md / docs/DTN.md custody tag (32 bytes):
+  //   [0]      flags (bit0 request, bit1 ack)
+  //   [1]      chain length
+  //   [2,4)    previous custodian (low 16 bits, stamped on accept)
+  //   [4,8)    bundle id          (BE32)
+  //   [8,12)   current custodian  (BE32)
+  //   [12,16)  chain digest       (BE32, FNV-style mix per accept)
+  //   [16,32)  MAC over [0,16) under the shared custody key
+  const auto field = field_bytes(fn, h);
+  if (field.size() < 32) return false;
+  // A custody-capable but non-accepting node carries the tag untouched
+  // (the overlay half of the §2.4 heterogeneous-deployment rule).
+  if (!cfg_.custody_accept) return true;
+
+  const crypto::Block expected =
+      crypto::make_mac(cfg_.mac_kind, cfg_.custody_key)->compute(field.subspan(0, 16));
+  if (!crypto::block_equal_ct(expected, crypto::block_from(field.subspan(16, 16)))) {
+    v.drop(RefDrop::kAuthFailed);  // forged/corrupted custody chain
+    return true;
+  }
+  const std::uint8_t flags = field[0];
+  const bool requested = (flags & 0x01u) != 0;
+  const bool is_ack = (flags & 0x02u) != 0;
+  if (is_ack || !requested) return true;  // nothing to accept
+
+  // Accept: remember the previous holder in [2,4), stamp ourselves as
+  // custodian, extend the chain, mix the digest, re-MAC.
+  field[2] = field[10];  // previous custodian, low 16 bits
+  field[3] = field[11];
+  for (int i = 0; i < 4; ++i) {
+    field[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(cfg_.node_id >> (8 * (3 - i)));
+  }
+  field[1] = static_cast<std::uint8_t>(field[1] + 1);
+  std::uint32_t digest = 0;
+  for (int i = 0; i < 4; ++i) digest = (digest << 8) | field[12 + std::size_t(i)];
+  digest = (digest ^ cfg_.node_id) * 0x01000193u;
+  for (int i = 0; i < 4; ++i) {
+    field[12 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(digest >> (8 * (3 - i)));
+  }
+  const crypto::Block mac =
+      crypto::make_mac(cfg_.mac_kind, cfg_.custody_key)->compute(field.subspan(0, 16));
+  crypto::block_to(mac, field.subspan(16, 16));
+  return true;
+}
+
+bool RefNode::op_bundlefrag(const RefFn& fn, RefHeader& h) {
+  // Fragment metadata ([0,2) index, [2,4) total, [4,8) bundle id, all BE) is
+  // carried for the receiving host; routers only bounds-check the geometry.
+  const auto field = field_bytes(fn, h);
+  if (field.size() < 8) return false;
+  const std::uint16_t index = static_cast<std::uint16_t>((field[0] << 8) | field[1]);
+  const std::uint16_t total = static_cast<std::uint16_t>((field[2] << 8) | field[3]);
+  return total != 0 && index < total;
 }
 
 }  // namespace dip::refmodel

@@ -14,6 +14,8 @@
 #include "dip/core/ip.hpp"
 #include "dip/core/router_pool.hpp"
 #include "dip/crypto/random.hpp"
+#include "dip/dtn/bundle.hpp"
+#include "dip/dtn/node.hpp"
 #include "dip/host/host_engine.hpp"
 #include "dip/host/ndn_app.hpp"
 #include "dip/host/retry.hpp"
@@ -526,6 +528,92 @@ TEST(Chaos, OptTrafficSurvivesInjectedLossWithReliableSender) {
   EXPECT_GE(verified, 1u) << "the server must OPT-verify at least one attempt";
   EXPECT_GT(sender_driver.retransmissions(), 0u);
   EXPECT_FALSE(sender_driver.pending());
+}
+
+// ---------- custody recovery vs the conservation ledger ----------
+
+TEST(Chaos, CustodyRecoveryKeepsConservationLedgerBalanced) {
+  // Backfill (docs/DTN.md): a packet blackholed during an outage is not
+  // resurrected — the custodian re-*sends* it, and each retransmission is a
+  // fresh transmit. The conservation identity must therefore hold exactly
+  // through a blackout-plus-recovery cycle: recovered bundles appear as new
+  // delivered transmits, never as a double count against the blackholed (or
+  // any other terminal) bucket.
+  netsim::Network net(42);
+  netsim::HostNode a, b;
+  auto registry = netsim::make_default_registry();
+  dtn::add_custody_modules(*registry);
+  const crypto::Block key = crypto::Xoshiro256(0xD7A).block();
+  auto custody_env = [&key](std::uint32_t node) {
+    core::RouterEnv env = netsim::make_basic_env(node);
+    env.custody_key = key;
+    env.accept_custody = true;
+    return env;
+  };
+  dtn::CustodyRouterNode r1(custody_env(1), registry, {});
+  dtn::CustodyRouterNode r2(custody_env(2), registry, {});
+  net.add_node(a);
+  net.add_node(r1);
+  net.add_node(r2);
+  net.add_node(b);
+
+  netsim::LinkParams middle;  // dark for the first 2s, lossy afterwards
+  middle.faults.blackout_period = 600 * kSecond;
+  middle.faults.blackout_duration = 2 * kSecond;
+  middle.faults.drop_rate = 0.1;
+  const auto fa = net.connect(a, r1).first;
+  const auto f12 = net.connect(r1, r2, middle).first;
+  const auto [f2b, fb] = net.connect(r2, b);
+  r1.env().fib32->insert(dtn::custody_prefix(100), f12);
+  r2.env().fib32->insert(dtn::custody_prefix(100), f2b);
+
+  dtn::BundleSender::Config sc;
+  sc.self = dtn::custody_addr(99);
+  sc.dst = dtn::custody_addr(100);
+  sc.node_id = 99;
+  sc.custody_key = key;
+  sc.frag_payload = 48;
+  dtn::BundleSender sender(a, fa, sc);
+  a.set_receiver([&](netsim::FaceId, netsim::PacketBytes p, SimTime) {
+    sender.on_packet(p);
+  });
+
+  dtn::BundleReceiver::Config bc;
+  bc.self = dtn::custody_addr(100);
+  bc.custody_key = key;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> delivered;
+  dtn::BundleReceiver receiver(b, fb, bc,
+                               [&](std::uint32_t id, std::vector<std::uint8_t> p) {
+                                 delivered[id] = std::move(p);
+                               });
+  b.set_receiver([&](netsim::FaceId, netsim::PacketBytes p, SimTime) {
+    receiver.on_packet(p);
+  });
+
+  std::vector<std::uint8_t> payload(192);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  }
+  const std::uint32_t bundle = sender.send(payload);  // t=0: middle link dark
+  net.run();
+
+  // Full recovery through the outage...
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[bundle], payload);
+  EXPECT_GT(r1.store().stats().retransmissions, 0u);
+  EXPECT_EQ(r1.store().bundles(), 0u);
+  EXPECT_EQ(r1.store().stats().evicted, 0u);
+
+  // ...with the transport ledger balanced to the packet: every transmit
+  // (original, retransmission, injected duplicate) lands in exactly one
+  // terminal bucket, and the blackholed copies stay blackholed.
+  const auto& s = net.stats();
+  EXPECT_GT(s.blackholed, 0u) << "the blackout must actually eat packets";
+  EXPECT_GT(s.lost, 0u) << "the drop_rate must actually eat packets";
+  EXPECT_EQ(s.transmitted + s.duplicated,
+            s.delivered + s.lost + s.blackholed + s.queue_dropped);
+  EXPECT_GT(s.transmitted, s.delivered)
+      << "recovery happens by fresh transmits, not resurrected ones";
 }
 
 }  // namespace

@@ -107,9 +107,11 @@ void merge_ledger(const refmodel::RefLedger& l) {
 /// head's values — so the refmodel mirror sees exactly what the burst saw.
 void run_stream_conformance(EngineKind kind, core::ValidationMode mode,
                             std::vector<Packet> stream, bool with_dps = false,
-                            std::size_t burst = w::kBatch) {
+                            std::size_t burst = w::kBatch,
+                            bool with_custody = false) {
   const SharedTables tables = make_shared_tables();
-  const std::shared_ptr<core::OpRegistry> registry = make_registry(with_dps);
+  const std::shared_ptr<core::OpRegistry> registry =
+      make_registry(with_dps, with_custody);
   const auto engine =
       make_engine(kind, registry.get(), make_env_factory(tables), mode, burst);
 
@@ -128,7 +130,8 @@ void run_stream_conformance(EngineKind kind, core::ValidationMode mode,
   std::vector<refmodel::RefNode> ref_nodes;
   ref_nodes.reserve(mirrors);
   for (std::size_t i = 0; i < mirrors; ++i) {
-    ref_nodes.push_back(make_ref_node(lenient, with_dps));
+    ref_nodes.push_back(make_ref_node(lenient, with_dps, refmodel::Mutation::kNone,
+                                      with_custody));
   }
   std::vector<std::size_t> owner(n, 0);
   if (kind == EngineKind::kPool) {
@@ -461,6 +464,36 @@ TEST(Conformance, DpsBatchStrict) {
 }
 
 // ---------------------------------------------------------------------------
+// 3a2. dip32+custody (F_custody accept/carry/auth-fail + F_frag bounds).
+// The op is per-packet deterministic — custody *state* lives in the node
+// wrappers, not the module — so the pool engine is in scope too.
+// ---------------------------------------------------------------------------
+
+TEST(Conformance, CustodyScalarStrict) {
+  run_stream_conformance(EngineKind::kScalar, core::ValidationMode::kStrict,
+                         proptest::gen::make_custody_stream(kSeed + 50, kStreamLen),
+                         /*with_dps=*/false, w::kBatch, /*with_custody=*/true);
+}
+
+TEST(Conformance, CustodyScalarLenient) {
+  run_stream_conformance(EngineKind::kScalar, core::ValidationMode::kLenient,
+                         proptest::gen::make_custody_stream(kSeed + 51, kStreamLen),
+                         /*with_dps=*/false, w::kBatch, /*with_custody=*/true);
+}
+
+TEST(Conformance, CustodyBatchStrict) {
+  run_stream_conformance(EngineKind::kBatch, core::ValidationMode::kStrict,
+                         proptest::gen::make_custody_stream(kSeed + 52, kStreamLen),
+                         /*with_dps=*/false, w::kBatch, /*with_custody=*/true);
+}
+
+TEST(Conformance, CustodyPoolStrict) {
+  run_stream_conformance(EngineKind::kPool, core::ValidationMode::kStrict,
+                         proptest::gen::make_custody_stream(kSeed + 53, kStreamLen),
+                         /*with_dps=*/false, w::kBatch, /*with_custody=*/true);
+}
+
+// ---------------------------------------------------------------------------
 // 3b. Route churn (ISSUE 5): the same RouteJournal deltas are applied to the
 // production engines (RCU snapshot publishes) and the refmodel mirrors at
 // identical packet indices; verdicts and rewrites must stay byte-identical
@@ -751,6 +784,13 @@ TEST(Conformance, CoverageLedgerIsComplete) {
   }
   EXPECT_FALSE(c.ledger.op_keys_executed.contains(9));
   EXPECT_FALSE(c.ledger.op_keys_executed.contains(14));
+  // The DTN extension keys (17 F_custody, 18 F_frag) execute in the
+  // dedicated custody streams.
+  for (const std::uint16_t key : {17, 18}) {
+    EXPECT_TRUE(c.ledger.op_keys_seen.contains(key)) << "op key never seen: " << key;
+    EXPECT_TRUE(c.ledger.op_keys_executed.contains(key))
+        << "op key never executed: " << key;
+  }
 
   for (int action = 0; action <= 2; ++action) {
     EXPECT_TRUE(c.actions.contains(action)) << "action never produced: " << action;

@@ -9,6 +9,7 @@
 #include "dip/core/ip.hpp"
 #include "dip/core/router.hpp"
 #include "dip/crypto/random.hpp"
+#include "dip/dtn/custody.hpp"
 #include "dip/legacy/border.hpp"
 #include "dip/legacy/tunnel.hpp"
 #include "dip/legacy/ipv4.hpp"
@@ -31,13 +32,24 @@ std::vector<std::uint8_t> random_bytes(crypto::Xoshiro256& rng, std::size_t max_
   return out;
 }
 
+/// Overlay key shared by the fuzz routers and the custody corpus packets so
+/// unmutated custody tags MAC-verify and mutated ones exercise the reject
+/// paths.
+const crypto::Block& custody_fuzz_key() {
+  static const crypto::Block key = crypto::Xoshiro256(0xD7A).block();
+  return key;
+}
+
 struct FuzzRouter {
   FuzzRouter() {
     registry = netsim::make_default_registry();
+    dtn::add_custody_modules(*registry);
     auto env = netsim::make_basic_env(1);
     env.fib32->insert({fib::ipv4_from_u32(0x0A000000), 8}, 1);
     env.fib128->insert({fib::parse_ipv6("2001:db8::").value(), 32}, 1);
     env.content_store.emplace(64);
+    env.custody_key = custody_fuzz_key();
+    env.accept_custody = true;
     router.emplace(std::move(env), registry.get());
   }
   std::shared_ptr<core::OpRegistry> registry;
@@ -185,6 +197,29 @@ std::vector<std::vector<std::uint8_t>> valid_packet_corpus() {
                                          xia::xid_from_label("h"), fib::XidType::kSid,
                                          xia::xid_from_label("s"));
   corpus.push_back(xia::make_xia_header(dag)->serialize());
+
+  // dip32+custody: a MAC-valid requested fragment and its custody ACK. The
+  // unmutated copies traverse the full accept/consume paths; bit-flipped
+  // copies land on the MAC-reject and geometry-check branches.
+  dtn::CustodyTag tag;
+  tag.flags = dtn::kCustodyRequest;
+  tag.bundle_id = 0xFB2D0001;
+  tag.custodian = 9;
+  tag.chain_digest = dtn::chain_mix(0, 9);
+  dtn::FragInfo frag;
+  frag.index = 0;
+  frag.total = 2;
+  frag.bundle_id = tag.bundle_id;
+  auto custody_wire = dtn::make_dip32_custody_header(fib::ipv4_from_u32(0x0A000001),
+                                                     fib::ipv4_from_u32(0x0B000001),
+                                                     tag, frag, custody_fuzz_key())
+                          ->serialize();
+  custody_wire.push_back('f');
+  corpus.push_back(std::move(custody_wire));
+  corpus.push_back(dtn::make_custody_ack_header(fib::ipv4_from_u32(0x0A000009),
+                                                fib::ipv4_from_u32(0x0A000001), tag,
+                                                frag, custody_fuzz_key())
+                       ->serialize());
   return corpus;
 }
 
@@ -391,6 +426,51 @@ TEST(Fuzz, SeededGrammarStrictAndLenientVerdictsStayCoherent) {
   EXPECT_EQ(lenient.router->env().counters.quarantined.load(), bind_failures);
 }
 
+TEST(Fuzz, CustodyGrammarStrictAndLenientVerdictsAgree) {
+  // Adversarial F_custody / F_frag triples: short fields, garbage MACs and
+  // geometry, host tags, stray anchors. Custody rejections are protocol
+  // verdicts (kMalformed / kAuthFailed), not byte damage — whenever the
+  // header binds, strict and lenient must return the same verdict, and the
+  // custody-accepting rewrite must leave both routers' packets identical.
+  FuzzRouter strict;
+  FuzzRouter lenient;
+  lenient.router->set_validation(core::ValidationMode::kLenient);
+  crypto::Xoshiro256 rng(12);
+
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<core::FnTriple> fns;
+    if (rng.below(2) == 0) {
+      fns.push_back(core::FnTriple::router(0, 32, core::OpKey::kMatch32));
+    }
+    const auto key = rng.below(2) == 0 ? core::OpKey::kCustody
+                                       : core::OpKey::kBundleFrag;
+    const auto loc = static_cast<std::uint16_t>(8 * rng.below(16));
+    const auto len = static_cast<std::uint16_t>(8 * (1 + rng.below(40)));
+    fns.push_back(rng.below(8) == 0 ? core::FnTriple::host(loc, len, key)
+                                    : core::FnTriple::router(loc, len, key));
+    const std::size_t loc_bytes = 4 + rng.below(61);
+    auto packet = craft_wire(fns, static_cast<std::uint16_t>(loc_bytes), loc_bytes);
+
+    auto bind_probe = packet;
+    const bool binds = core::HeaderView::bind(bind_probe).has_value();
+    auto for_strict = packet;
+    const auto s = strict.router->process(for_strict, 0, i);
+    auto for_lenient = packet;
+    const auto l = lenient.router->process(for_lenient, 0, i);
+
+    if (!binds) {
+      ASSERT_EQ(s.reason, core::DropReason::kMalformed) << "iteration " << i;
+      ASSERT_EQ(l.reason, core::DropReason::kCorruptQuarantine) << "iteration " << i;
+    } else {
+      ASSERT_EQ(s.action, l.action) << "iteration " << i;
+      ASSERT_EQ(s.reason, l.reason) << "iteration " << i;
+      ASSERT_EQ(s.egress, l.egress) << "iteration " << i;
+      ASSERT_EQ(for_strict, for_lenient) << "iteration " << i
+          << ": custody rewrite diverged between modes";
+    }
+  }
+}
+
 // ---------- structured random headers round-trip ----------
 
 TEST(Fuzz, RandomBuiltHeadersRoundTrip) {
@@ -403,7 +483,7 @@ TEST(Fuzz, RandomBuiltHeadersRoundTrip) {
     for (std::size_t k = 0; k < fields; ++k) {
       std::vector<std::uint8_t> field(1 + rng.below(60));
       for (auto& byte : field) byte = static_cast<std::uint8_t>(rng.next());
-      const auto key = static_cast<core::OpKey>(1 + rng.below(15));
+      const auto key = static_cast<core::OpKey>(1 + rng.below(18));  // incl. custody/frag
       if (rng.below(4) == 0) {
         const auto loc = b.add_location(field);
         b.add_fn(core::FnTriple::host(loc, static_cast<std::uint16_t>(field.size() * 8),

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "dip/core/ip.hpp"
+#include "dip/dtn/custody.hpp"
 #include "dip/ndn/ndn.hpp"
 #include "dip/opt/opt.hpp"
 #include "dip/pisa/compiler.hpp"
@@ -594,6 +595,52 @@ TEST(StageBudget, GoldenCostReportsForTable1) {
         << path << " drifted from the compiler output; regenerate deliberately "
         << "with DIP_REGEN_VECTORS=1 ./pisa_test";
   }
+}
+
+TEST(StageBudget, CustodyCompositionGoldenFitReport) {
+  // dip32+custody (docs/DTN.md) postdates Table 1, but the §2.1 claim extends
+  // to it: the DTN overlay must deploy on the same Tofino-like model in a
+  // single pass, with its cost report pinned like the six §3 goldens.
+  const bool regen = std::getenv("DIP_REGEN_VECTORS") != nullptr;
+
+  dtn::CustodyTag tag;
+  tag.flags = dtn::kCustodyRequest;
+  tag.bundle_id = 0xD7B00001;
+  tag.custodian = 42;
+  tag.chain_digest = dtn::chain_mix(0, 42);
+  dtn::FragInfo frag;
+  frag.index = 1;
+  frag.total = 3;
+  frag.bundle_id = tag.bundle_id;
+  const auto header = dtn::make_dip32_custody_header(
+      fib::ipv4_from_u32(0x0A400202), fib::ipv4_from_u32(0x0A006301), tag, frag,
+      crypto::Block{});
+  ASSERT_TRUE(header.has_value());
+
+  const StageCompiler compiler;
+  const PlacementReport report =
+      compiler.compile(header->fns, header->locations.size());
+  EXPECT_EQ(report.verdict, FitVerdict::kFit) << report.reason;
+  EXPECT_EQ(report.passes.size(), 1u) << "custody must not recirculate";
+  EXPECT_LE(report.stages_used, compiler.model().stages);
+
+  const std::string text = format_report("dip32_custody", header->fns,
+                                         header->locations.size(), report,
+                                         compiler.model());
+  const auto path = pisa_vector_path("dip32_custody");
+  if (regen) {
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden cost report " << path;
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), text)
+      << path << " drifted from the compiler output; regenerate deliberately "
+      << "with DIP_REGEN_VECTORS=1 ./pisa_test";
 }
 
 TEST(StageBudget, EveryModuleTableRowPlaces) {

@@ -14,6 +14,7 @@
 #include "dip/core/builder.hpp"
 #include "dip/core/fn.hpp"
 #include "dip/crypto/random.hpp"
+#include "dip/dtn/custody.hpp"
 #include "dip/epic/epic.hpp"
 #include "dip/fib/address.hpp"
 #include "dip/ndn/ndn.hpp"
@@ -82,6 +83,12 @@ inline const crypto::Block& pass_key() {
 
 inline const crypto::Block& destination_secret() {
   static const crypto::Block b = crypto::Xoshiro256(0xD00D).block();
+  return b;
+}
+
+/// Shared F_custody MAC key (DTN overlay; docs/DTN.md).
+inline const crypto::Block& custody_key() {
+  static const crypto::Block b = crypto::Xoshiro256(0xD7A).block();
   return b;
 }
 
@@ -536,6 +543,99 @@ inline std::vector<Packet> make_dps_stream(std::uint64_t seed, std::size_t count
       b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
     }
     stream.push_back(finish(b.build(), random_payload(rng, 32)));
+  }
+  return stream;
+}
+
+/// Dedicated dip32+custody stream: custody requests that this node accepts
+/// (tag rewrite + re-MAC), carried tags (ACKs, non-requests), forged MACs
+/// (kAuthFailed), short/degenerate fields (kMalformed), and plain fragment
+/// metadata. F_custody is per-packet deterministic (all state lives in the
+/// node wrapper's store, not the op), so the stream is pool-safe.
+inline std::vector<Packet> make_custody_stream(std::uint64_t seed,
+                                               std::size_t count) {
+  crypto::Xoshiro256 rng(seed);
+  std::vector<Packet> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto variant = rng.below(10);
+    dtn::CustodyTag tag;
+    tag.flags = dtn::kCustodyRequest;
+    tag.chain_len = static_cast<std::uint8_t>(rng.below(4));
+    tag.bundle_id = rng.u32();
+    tag.custodian = 1 + rng.below(64);
+    tag.prev_custodian = static_cast<std::uint16_t>(tag.custodian);
+    tag.chain_digest = dtn::chain_mix(0, tag.custodian);
+    dtn::FragInfo frag;
+    frag.total = static_cast<std::uint16_t>(1 + rng.below(8));
+    frag.index = static_cast<std::uint16_t>(rng.below(frag.total));
+    frag.bundle_id = tag.bundle_id;
+    const auto dst = fib::ipv4_from_u32(routable32(rng));
+    const auto src = fib::ipv4_from_u32(world::kNet10 | 0x77);
+    switch (variant) {
+      case 0:  // carried: custody not requested
+        tag.flags = 0;
+        break;
+      case 1:  // carried: an ACK in flight through a custody node
+        tag.flags = dtn::kCustodyAck;
+        break;
+      case 2: {  // forged MAC -> kAuthFailed
+        Packet p = finish(dtn::make_dip32_custody_header(dst, src, tag, frag,
+                                                         world::custody_key()),
+                          random_payload(rng, 16));
+        // Locations: basic(6) + 4 triples(24), match32 4B, source 4B, then
+        // the 32B tag; its MAC occupies bytes [16,32) of the field.
+        p[30 + 8 + 16 + rng.below(16)] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        stream.push_back(std::move(p));
+        continue;
+      }
+      case 3: {  // short custody field -> kMalformed status error
+        core::HeaderBuilder b;
+        b.hop_limit(live_hops(rng));
+        b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+        b.add_router_fn(core::OpKey::kCustody, rng.block());  // 16 B < 32 B
+        stream.push_back(finish(b.build(), random_payload(rng, 16)));
+        continue;
+      }
+      case 4: {  // degenerate fragment geometry -> kMalformed
+        std::array<std::uint8_t, dtn::kFragBytes> field{};
+        dtn::FragInfo bad;
+        bad.total = static_cast<std::uint16_t>(rng.below(2) ? 0 : 3);
+        bad.index = static_cast<std::uint16_t>(bad.total == 0 ? rng.below(4) : 3 + rng.below(4));
+        bad.bundle_id = rng.u32();
+        bad.write(field);
+        core::HeaderBuilder b;
+        b.hop_limit(live_hops(rng));
+        b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+        b.add_router_fn(core::OpKey::kBundleFrag, field);
+        stream.push_back(finish(b.build(), random_payload(rng, 16)));
+        continue;
+      }
+      case 5: {  // fragment metadata alone (no custody tag)
+        std::array<std::uint8_t, dtn::kFragBytes> field{};
+        frag.write(field);
+        core::HeaderBuilder b;
+        b.hop_limit(live_hops(rng));
+        b.add_router_fn(core::OpKey::kMatch32, be32(routable32(rng)));
+        b.add_router_fn(core::OpKey::kBundleFrag, field);
+        stream.push_back(finish(b.build(), random_payload(rng, 16)));
+        continue;
+      }
+      case 6: {  // unroutable destination: dropped before F_custody runs
+        stream.push_back(
+            finish(dtn::make_dip32_custody_header(
+                       fib::ipv4_from_u32(0xC0A80000 | (rng.u32() & 0xffff)), src,
+                       tag, frag, world::custody_key()),
+                   random_payload(rng, 16)));
+        continue;
+      }
+      default:  // accepted request: custodian stamp + chain extend + re-MAC
+        break;
+    }
+    stream.push_back(finish(
+        dtn::make_dip32_custody_header(dst, src, tag, frag, world::custody_key(),
+                                       crypto::MacKind::kEm2, live_hops(rng)),
+        random_payload(rng, 16)));
   }
   return stream;
 }

@@ -15,6 +15,7 @@
 #include "dip/core/flow_cache.hpp"
 #include "dip/core/registry.hpp"
 #include "dip/ctrl/journal.hpp"
+#include "dip/dtn/custody.hpp"
 #include "dip/netsim/dip_node.hpp"
 #include "dip/qos/dps.hpp"
 #include "dip/refmodel/refmodel.hpp"
@@ -30,13 +31,16 @@ namespace w = proptest::world;
 // World construction — both sides from the same constants.
 // ---------------------------------------------------------------------------
 
-/// The default registry plus (optionally) the stateful F_dps module.
-inline std::shared_ptr<core::OpRegistry> make_registry(bool with_dps) {
+/// The default registry plus (optionally) the stateful F_dps module and the
+/// DTN custody pair (F_custody/F_frag).
+inline std::shared_ptr<core::OpRegistry> make_registry(bool with_dps,
+                                                       bool with_custody = false) {
   std::shared_ptr<core::OpRegistry> registry = netsim::make_default_registry();
   if (with_dps) {
     registry->add(std::make_unique<qos::DpsOp>(
         qos::FairShareEstimator::Config{w::kDpsCapacity, w::kDpsWindow}, w::kDpsSeed));
   }
+  if (with_custody) dtn::add_custody_modules(*registry);
   return registry;
 }
 
@@ -109,6 +113,10 @@ inline core::EnvFactory make_env_factory(const SharedTables& tables,
     env.node_secret = w::node_secret();
     env.pass_key = w::pass_key();
     env.enforce_pass = true;
+    // Inert without the custody modules in the registry (the default): the
+    // custody streams opt in via make_registry(with_custody).
+    env.custody_key = w::custody_key();
+    env.accept_custody = true;
     env.limits.per_packet_budget = w::kBudget;
     env.limits.max_fn_per_packet = w::kMaxFnPerPacket;
     return env;
@@ -118,7 +126,8 @@ inline core::EnvFactory make_env_factory(const SharedTables& tables,
 /// The refmodel twin of make_env_factory's environment.
 inline refmodel::RefNode make_ref_node(
     bool lenient, bool dps_enabled = false,
-    refmodel::Mutation mutation = refmodel::Mutation::kNone) {
+    refmodel::Mutation mutation = refmodel::Mutation::kNone,
+    bool custody_enabled = false) {
   refmodel::RefConfig cfg;
   cfg.node_id = w::kNodeId;
   cfg.node_secret = w::node_secret();
@@ -135,6 +144,9 @@ inline refmodel::RefNode make_ref_node(
   cfg.dps_seed = w::kDpsSeed;
   cfg.dps_capacity_bytes_per_sec = w::kDpsCapacity;
   cfg.dps_window = w::kDpsWindow;
+  cfg.custody_enabled = custody_enabled;
+  cfg.custody_accept = true;
+  cfg.custody_key = w::custody_key();
   cfg.mutation = mutation;
   refmodel::RefNode node(cfg);
   node.add_route32(w::kNet10, 8, w::kNh10);

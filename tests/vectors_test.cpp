@@ -14,6 +14,7 @@
 
 #include "dip/core/header.hpp"
 #include "dip/core/ip.hpp"
+#include "dip/dtn/custody.hpp"
 #include "dip/epic/epic.hpp"
 #include "dip/ndn/ndn.hpp"
 #include "dip/opt/opt.hpp"
@@ -31,6 +32,7 @@ struct Vector {
   const char* file;        // under tests/vectors/
   Packet packet;           // composer output, payload included
   std::vector<std::uint32_t> egress;  // expected refmodel egress
+  bool custody = false;    // verify against a custody-enabled refmodel node
 };
 
 const std::vector<std::uint8_t>& payload() {
@@ -78,6 +80,34 @@ std::vector<Vector> make_vectors() {
       xia::make_service_dag(w::ad_routed(), w::hid_remote(), fib::XidType::kSid,
                             w::sid_remote());
   v.push_back({"xia.hex", with_payload(xia::make_xia_header(dag)), {w::kNhAd}});
+  // dip32+custody (docs/DTN.md): a requested custody fragment — the
+  // custody-enabled refmodel node rewrites the tag in place and forwards by
+  // the match32 destination — and the matching custody ACK.
+  {
+    dtn::CustodyTag tag;
+    tag.flags = dtn::kCustodyRequest;
+    tag.bundle_id = 0xD7B00001;
+    tag.custodian = 42;
+    tag.chain_digest = dtn::chain_mix(0, 42);
+    dtn::FragInfo frag;
+    frag.index = 1;
+    frag.total = 3;
+    frag.bundle_id = 0xD7B00001;
+    v.push_back({"dtn_custody.hex",
+                 with_payload(dtn::make_dip32_custody_header(
+                     fib::ipv4_from_u32(w::kNet10_64 | 0x0202),
+                     fib::ipv4_from_u32(w::kNet10 | 0x6301), tag, frag,
+                     w::custody_key())),
+                 {w::kNh10_64},
+                 /*custody=*/true});
+    v.push_back({"dtn_custody_ack.hex",
+                 with_payload(dtn::make_custody_ack_header(
+                     fib::ipv4_from_u32(w::kNet10 | 0x2A01),
+                     fib::ipv4_from_u32(w::kNet10_64 | 0x0202), tag, frag,
+                     w::custody_key())),
+                 {w::kNh10},
+                 /*custody=*/true});
+  }
   return v;
 }
 
@@ -121,7 +151,8 @@ TEST(Vectors, GoldenWireVectors) {
     EXPECT_EQ(rebuilt, golden) << vec.file << " does not round-trip";
 
     // (c) The reference model forwards it where Table 1 says it goes.
-    refmodel::RefNode node = make_ref_node(/*lenient=*/false);
+    refmodel::RefNode node = make_ref_node(/*lenient=*/false, /*dps_enabled=*/false,
+                                           refmodel::Mutation::kNone, vec.custody);
     Packet mutated = golden;
     const refmodel::RefVerdict rv = node.process(mutated, /*ingress=*/1, w::now_of(0));
     EXPECT_EQ(rv.action, refmodel::RefAction::kForward) << vec.file;
